@@ -1,0 +1,439 @@
+package logscape_test
+
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index), plus throughput
+// benchmarks for each subsystem and the ablation benchmarks of DESIGN.md §5.
+//
+// The per-experiment benchmarks report the reproduced headline numbers as
+// custom metrics (tp/op, fp/op, ...) so `go test -bench=.` doubles as the
+// EXPERIMENTS.md data source.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"logscape/internal/baseline"
+	"logscape/internal/core/l1"
+	"logscape/internal/core/l2"
+	"logscape/internal/core/l3"
+	"logscape/internal/eval"
+	"logscape/internal/hospital"
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *eval.Runner
+)
+
+// benchSetup simulates the full test week once for all benchmarks (seed
+// 2005, full 1/100 scale — the configuration of cmd/evalrun).
+func benchSetup(b *testing.B) *eval.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRunner = eval.NewRunner(eval.DefaultOptions(2005))
+	})
+	return benchRunner
+}
+
+// --- Experiment benchmarks (one per table and figure) ----------------------
+
+func BenchmarkTable1LogVolume(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = r.Table1().Total
+	}
+	b.ReportMetric(float64(total), "logs/week")
+}
+
+func BenchmarkFigure1ActivitySeries(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	var corr float64
+	for i := 0; i < b.N; i++ {
+		corr = r.Figure1(0, logmodel.TimeRange{}).Correlation
+	}
+	b.ReportMetric(corr, "corr")
+}
+
+func BenchmarkFigure2Boxplots(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	pos := 0
+	for i := 0; i < b.N; i++ {
+		f := r.Figure2(0)
+		pos = 0
+		for _, d := range f.Directions {
+			if d.Positive {
+				pos++
+			}
+		}
+	}
+	b.ReportMetric(float64(pos), "positive-directions")
+}
+
+func BenchmarkFigure3SessionExcerpt(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(r.Figure3(0, 0, 0).Events)
+	}
+	b.ReportMetric(float64(n), "events")
+}
+
+func BenchmarkFigure4ContingencyTable(b *testing.B) {
+	var g2 float64
+	for i := 0; i < b.N; i++ {
+		g2 = eval.Figure4().Test.G2
+	}
+	b.ReportMetric(g2, "G2")
+}
+
+func BenchmarkFigure5L1Days(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	var tp, fp int
+	for i := 0; i < b.N; i++ {
+		f := r.Figure5()
+		tp, fp = 0, 0
+		for _, d := range f.Days {
+			tp += d.TP
+			fp += d.FP
+		}
+	}
+	b.ReportMetric(float64(tp)/7, "tp/day")
+	b.ReportMetric(float64(fp)/7, "fp/day")
+}
+
+func BenchmarkFigure6L2Days(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	var tp, fp int
+	for i := 0; i < b.N; i++ {
+		f := r.Figure6()
+		tp, fp = 0, 0
+		for _, d := range f.Days {
+			tp += d.TP
+			fp += d.FP
+		}
+	}
+	b.ReportMetric(float64(tp)/7, "tp/day")
+	b.ReportMetric(float64(fp)/7, "fp/day")
+}
+
+func BenchmarkFigure7TimeoutSweep(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	var bestRatio float64
+	for i := 0; i < b.N; i++ {
+		f := r.Figure7(6, nil)
+		bestRatio = 0
+		for _, p := range f.Points {
+			if ratio := p.Ratio(); ratio > bestRatio {
+				bestRatio = ratio
+			}
+		}
+	}
+	b.ReportMetric(bestRatio, "best-ratio")
+}
+
+func BenchmarkTable2TimeoutTest(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	var medianRatioDiff float64
+	for i := 0; i < b.N; i++ {
+		t2 := r.Table2(nil)
+		medianRatioDiff = t2.Rows[len(t2.Rows)-1].RatioDiffMedian
+	}
+	b.ReportMetric(medianRatioDiff, "tpr-gain-pp")
+}
+
+func BenchmarkFigure8L3Days(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	var unionTP, unionFP int
+	for i := 0; i < b.N; i++ {
+		f := r.Figure8()
+		unionTP, unionFP = f.UnionTP, f.UnionFP
+	}
+	b.ReportMetric(float64(unionTP), "union-tp")
+	b.ReportMetric(float64(unionFP), "union-fp")
+}
+
+func BenchmarkFigure9LoadStudy(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	var slope float64
+	for i := 0; i < b.N; i++ {
+		slope = r.Figure9(0).P1Regression.Slope
+	}
+	b.ReportMetric(slope, "p1-slope")
+}
+
+// --- Subsystem throughput benchmarks ---------------------------------------
+
+func BenchmarkSimulateDay(b *testing.B) {
+	topo := hospital.GenerateTopology(hospital.DefaultTopologyConfig(), 2005)
+	sim := hospital.NewSimulator(hospital.DefaultConfig(2005), topo)
+	b.ResetTimer()
+	var logs int
+	for i := 0; i < b.N; i++ {
+		store, _ := sim.GenerateDay(i % 7)
+		logs = store.Len()
+	}
+	b.ReportMetric(float64(logs), "logs")
+}
+
+func BenchmarkSessionBuild(b *testing.B) {
+	r := benchSetup(b)
+	store := r.Stores[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sessions.Build(store, sessions.Config{})
+	}
+}
+
+func BenchmarkL1MineDay(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l1.Mine(r.Stores[0], r.Sim.DayRange(0), r.AppNames(), r.Opts.L1)
+	}
+}
+
+func BenchmarkL2MineDay(b *testing.B) {
+	r := benchSetup(b)
+	ss, _ := r.SessionsOfDay(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2.Mine(ss, r.Opts.L2)
+	}
+}
+
+func BenchmarkL3MineDay(b *testing.B) {
+	r := benchSetup(b)
+	m := l3.NewMiner(r.Dir, l3.Config{Stops: r.Opts.Stops})
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(m.Mine(r.Stores[0], logmodel.TimeRange{}).Dependencies())
+	}
+	b.ReportMetric(float64(n), "deps")
+}
+
+func BenchmarkL3Throughput(b *testing.B) {
+	// Per-entry scanning cost of the citation automaton.
+	r := benchSetup(b)
+	m := l3.NewMiner(r.Dir, l3.Config{Stops: r.Opts.Stops})
+	store := r.Stores[0]
+	b.SetBytes(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mine(store, logmodel.TimeRange{})
+	}
+	b.ReportMetric(float64(store.Len()*b.N)/b.Elapsed().Seconds(), "entries/s")
+}
+
+func BenchmarkBaselineMineHour(b *testing.B) {
+	r := benchSetup(b)
+	hr := logmodel.TimeRange{
+		Start: r.Sim.DayRange(0).Start + 10*logmodel.MillisPerHour,
+		End:   r.Sim.DayRange(0).Start + 11*logmodel.MillisPerHour,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.Mine(r.Stores[0], hr, nil, baseline.Config{})
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) -------------------------------------
+
+// ablationL1 runs L1 on day 0 with the given config and reports TP/FP.
+func ablationL1(b *testing.B, cfg l1.Config) {
+	r := benchSetup(b)
+	if cfg.MinLogs == 0 {
+		cfg.MinLogs = r.Opts.L1.MinLogs
+	}
+	cfg.Seed = r.Opts.Seed
+	b.ResetTimer()
+	var conf = r.ScorePairs(nil)
+	for i := 0; i < b.N; i++ {
+		res := l1.Mine(r.Stores[0], r.Sim.DayRange(0), r.AppNames(), cfg)
+		conf = r.ScorePairs(res.DependentPairs())
+	}
+	b.ReportMetric(float64(conf.TP), "tp")
+	b.ReportMetric(float64(conf.FP), "fp")
+}
+
+func BenchmarkAblationL1DistanceNearest(b *testing.B) {
+	ablationL1(b, l1.Config{Distance: l1.DistNearest})
+}
+
+func BenchmarkAblationL1DistanceNext(b *testing.B) {
+	ablationL1(b, l1.Config{Distance: l1.DistNext})
+}
+
+func BenchmarkAblationL1TwoSided(b *testing.B) {
+	ablationL1(b, l1.Config{TwoSided: true})
+}
+
+func BenchmarkAblationL1MeanStatistic(b *testing.B) {
+	ablationL1(b, l1.Config{Statistic: l1.StatMean})
+}
+
+func BenchmarkAblationL1TotalActivityRef(b *testing.B) {
+	ablationL1(b, l1.Config{Reference: l1.RefTotalActivity})
+}
+
+func BenchmarkAblationL1EqualCountSlots(b *testing.B) {
+	r := benchSetup(b)
+	cfg := l1.Config{MinLogs: r.Opts.L1.MinLogs, Seed: r.Opts.Seed}
+	slots := l1.EqualCountSlots(r.Stores[0], r.Sim.DayRange(0), 24)
+	b.ResetTimer()
+	var conf = r.ScorePairs(nil)
+	for i := 0; i < b.N; i++ {
+		res := l1.MineSlots(r.Stores[0], slots, r.AppNames(), cfg)
+		conf = r.ScorePairs(res.DependentPairs())
+	}
+	b.ReportMetric(float64(conf.TP), "tp")
+	b.ReportMetric(float64(conf.FP), "fp")
+}
+
+func BenchmarkAblationL1GlobalSlot(b *testing.B) {
+	// Slotting ablation: one 24-hour slot instead of hourly slots — the
+	// §3.1 time-of-day confounder makes everything correlate.
+	ablationL1(b, l1.Config{SlotWidth: 24 * logmodel.MillisPerHour, ThS: 0.04})
+}
+
+func BenchmarkAblationL2MeasureG2(b *testing.B) {
+	r := benchSetup(b)
+	ss, _ := r.SessionsOfDay(0)
+	b.ResetTimer()
+	var conf = r.ScorePairs(nil)
+	for i := 0; i < b.N; i++ {
+		conf = r.ScorePairs(l2.Mine(ss, l2.Config{Measure: l2.MeasureG2}).DependentPairs())
+	}
+	b.ReportMetric(float64(conf.TP), "tp")
+	b.ReportMetric(float64(conf.FP), "fp")
+}
+
+func BenchmarkAblationL2MeasurePearson(b *testing.B) {
+	r := benchSetup(b)
+	ss, _ := r.SessionsOfDay(0)
+	b.ResetTimer()
+	var conf = r.ScorePairs(nil)
+	for i := 0; i < b.N; i++ {
+		conf = r.ScorePairs(l2.Mine(ss, l2.Config{Measure: l2.MeasurePearson}).DependentPairs())
+	}
+	b.ReportMetric(float64(conf.TP), "tp")
+	b.ReportMetric(float64(conf.FP), "fp")
+}
+
+func BenchmarkAblationL3WithStops(b *testing.B) {
+	r := benchSetup(b)
+	m := l3.NewMiner(r.Dir, l3.Config{Stops: r.Opts.Stops})
+	b.ResetTimer()
+	var conf = r.ScoreDeps(nil)
+	for i := 0; i < b.N; i++ {
+		conf = r.ScoreDeps(m.Mine(r.Stores[0], logmodel.TimeRange{}).Dependencies())
+	}
+	b.ReportMetric(float64(conf.TP), "tp")
+	b.ReportMetric(float64(conf.FP), "fp")
+}
+
+func BenchmarkAblationL3NoStops(b *testing.B) {
+	r := benchSetup(b)
+	m := l3.NewMiner(r.Dir, l3.Config{})
+	b.ResetTimer()
+	var conf = r.ScoreDeps(nil)
+	for i := 0; i < b.N; i++ {
+		conf = r.ScoreDeps(m.Mine(r.Stores[0], logmodel.TimeRange{}).Dependencies())
+	}
+	b.ReportMetric(float64(conf.TP), "tp")
+	b.ReportMetric(float64(conf.FP), "fp")
+}
+
+// BenchmarkAblationBaselineVsL1 compares the related-work baseline to L1
+// on the same day and universe.
+func BenchmarkAblationBaselineVsL1(b *testing.B) {
+	r := benchSetup(b)
+	hr := r.Sim.DayRange(0)
+	b.ResetTimer()
+	var conf = r.ScorePairs(nil)
+	for i := 0; i < b.N; i++ {
+		res := baseline.Mine(r.Stores[0], hr, r.AppNames(), baseline.Config{})
+		conf = r.ScorePairs(res.DependentPairs())
+	}
+	b.ReportMetric(float64(conf.TP), "tp")
+	b.ReportMetric(float64(conf.FP), "fp")
+}
+
+// BenchmarkDirectionHints measures the §5 direction heuristic over the
+// day's dependent pairs.
+func BenchmarkDirectionHints(b *testing.B) {
+	r := benchSetup(b)
+	ss, _ := r.SessionsOfDay(0)
+	pairs := l2.Mine(ss, r.Opts.L2).DependentPairs()
+	b.ResetTimer()
+	var decided int
+	for i := 0; i < b.N; i++ {
+		hints := l2.DirectionHints(ss, pairs, logmodel.MillisPerSecond)
+		decided = 0
+		for _, h := range hints {
+			if h.Caller() != "" {
+				decided++
+			}
+		}
+	}
+	b.ReportMetric(float64(decided), "decided")
+}
+
+// BenchmarkDelayAnalysis measures the §5 causal/concurrent classifier over
+// the day's dependent pair types.
+func BenchmarkDelayAnalysis(b *testing.B) {
+	r := benchSetup(b)
+	ss, _ := r.SessionsOfDay(0)
+	res := l2.Mine(ss, r.Opts.L2)
+	types := make(map[l2.Bigram]bool)
+	for t, tr := range res.Types {
+		if tr.Significant {
+			types[t] = true
+		}
+	}
+	b.ResetTimer()
+	var peaked int
+	for i := 0; i < b.N; i++ {
+		out := l2.ClassifyPairs(ss, types, l2.DelayConfig{})
+		peaked = 0
+		for _, d := range out {
+			if d.Peaked {
+				peaked++
+			}
+		}
+	}
+	b.ReportMetric(float64(peaked), "causal-types")
+	b.ReportMetric(float64(len(types)), "types")
+}
+
+// BenchmarkSlotTest measures the core L1 primitive.
+func BenchmarkSlotTest(b *testing.B) {
+	r := benchSetup(b)
+	hr := logmodel.TimeRange{
+		Start: r.Sim.DayRange(0).Start + 10*logmodel.MillisPerHour,
+		End:   r.Sim.DayRange(0).Start + 11*logmodel.MillisPerHour,
+	}
+	idx := r.Stores[0].SourceIndexRange(hr)
+	a := idx["DPIFormidoc"]
+	c := idx["DPIPublication"]
+	rng := rand.New(rand.NewSource(1))
+	cfg := r.Opts.L1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l1.SlotTest(rng, a, c, hr, cfg)
+	}
+}

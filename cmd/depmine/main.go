@@ -1,0 +1,271 @@
+// Command depmine mines dependency models from log files with the paper's
+// three techniques (and the Agrawal et al. baseline), optionally scoring
+// the result against a reference model.
+//
+// Usage:
+//
+//	depmine -method l1|l2|l3|baseline [flags] LOGFILE...
+//
+// Common flags:
+//
+//	-dir FILE       service-directory XML (required for l3)
+//	-truth FILE     reference model to score against (tab-separated pairs)
+//	-dot FILE       write the mined model as a Graphviz dot graph
+//
+// Method-specific flags:
+//
+//	-timeout SEC    L2 bigram timeout (0 = infinity; default 1)
+//	-minlogs N      L1 per-slot minimum log count (default 10)
+//	-nostops        L3: disable the canonical stop patterns
+//	-direction      L2: print the §5 direction heuristic for mined pairs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"logscape/internal/baseline"
+	"logscape/internal/core"
+	"logscape/internal/core/l1"
+	"logscape/internal/core/l2"
+	"logscape/internal/core/l3"
+	"logscape/internal/depgraph"
+	"logscape/internal/directory"
+	"logscape/internal/hospital"
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+)
+
+func main() {
+	method := flag.String("method", "l3", "mining technique: l1, l2, l3 or baseline")
+	dirPath := flag.String("dir", "", "service-directory XML (required for l3)")
+	truthPath := flag.String("truth", "", "reference model file to score against")
+	dotPath := flag.String("dot", "", "write the mined model as a Graphviz dot file")
+	jsonPath := flag.String("json", "", "write the mined model as a JSON model document")
+	impact := flag.String("impact", "", "print impact and root-cause analysis for a component")
+	timeout := flag.Float64("timeout", 1, "L2 bigram timeout in seconds (0 = infinity)")
+	minlogs := flag.Int("minlogs", 10, "L1 per-slot minimum log count")
+	nostops := flag.Bool("nostops", false, "L3: disable the canonical stop patterns")
+	direction := flag.Bool("direction", false, "L2: print direction hints for mined pairs")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "depmine: at least one log file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*method, *dirPath, *truthPath, *dotPath, *jsonPath, *impact, *timeout, *minlogs, *nostops, *direction, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "depmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout float64,
+	minlogs int, nostops, direction bool, files []string) error {
+
+	store, err := loadLogs(files)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d log entries from %d file(s), %d sources\n",
+		store.Len(), len(files), len(store.Sources()))
+	span := store.Span()
+
+	var pairs core.PairSet
+	var deps core.AppServiceSet
+	switch method {
+	case "l1":
+		res := l1.Mine(store, span, nil, l1.Config{MinLogs: minlogs})
+		pairs = res.DependentPairs()
+	case "l2":
+		ss, stats := sessions.Build(store, sessions.Config{})
+		fmt.Fprintf(os.Stderr, "built %d sessions (%.1f%% of logs assigned)\n",
+			stats.Sessions, 100*stats.AssignedShare())
+		to := logmodel.SecondsToMillis(timeout)
+		if timeout == 0 {
+			to = l2.NoTimeout
+		}
+		res := l2.Mine(ss, l2.Config{Timeout: to})
+		pairs = res.DependentPairs()
+		if direction {
+			for p, h := range l2.DirectionHints(ss, pairs, to) {
+				caller := h.Caller()
+				if caller == "" {
+					caller = "?"
+				}
+				fmt.Printf("# direction %s: caller likely %s (%d vs %d runs)\n",
+					p, caller, h.AFirst, h.BFirst)
+			}
+		}
+	case "l3":
+		if dirPath == "" {
+			return fmt.Errorf("l3 requires -dir")
+		}
+		df, err := os.Open(dirPath)
+		if err != nil {
+			return err
+		}
+		dir, err := directory.Read(df)
+		df.Close()
+		if err != nil {
+			return err
+		}
+		cfg := l3.Config{}
+		if !nostops {
+			cfg.Stops = hospital.CanonicalStopPatterns()
+		}
+		deps = l3.NewMiner(dir, cfg).Mine(store, logmodel.TimeRange{}).Dependencies()
+	case "baseline":
+		res := baseline.Mine(store, span, nil, baseline.Config{})
+		pairs = res.DependentPairs()
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+
+	// Print the model.
+	if deps != nil {
+		for _, d := range deps.SortedPairs() {
+			fmt.Printf("%s\t%s\n", d.App, d.Group)
+		}
+	} else {
+		for _, p := range pairs.SortedPairs() {
+			fmt.Printf("%s\t%s\n", p.A, p.B)
+		}
+	}
+
+	if dotPath != "" {
+		if err := writeDot(dotPath, pairs, deps); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		var doc core.ModelDocument
+		params := map[string]string{"files": strings.Join(files, ",")}
+		if deps != nil {
+			doc = core.NewDepDocument(method, deps, params)
+		} else {
+			doc = core.NewPairDocument(method, pairs, params)
+		}
+		if err := core.WriteModel(f, doc); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if impact != "" {
+		printImpact(impact, pairs, deps, dirPath)
+	}
+	if truthPath != "" {
+		return score(truthPath, pairs, deps, store)
+	}
+	return nil
+}
+
+// printImpact builds the dependency graph of the mined model and prints the
+// impact and root-cause sets of the given component (§1.1's motivating
+// applications). For an app→service model the graph mixes application and
+// service-group nodes (edges app → group), which keeps the analysis useful
+// without knowing group ownership.
+func printImpact(node string, pairs core.PairSet, deps core.AppServiceSet, _ string) {
+	var g *depgraph.Graph
+	if deps != nil {
+		g = depgraph.New()
+		for d := range deps {
+			g.AddEdge(d.App, d.Group)
+		}
+	} else {
+		g = depgraph.FromPairs(pairs)
+	}
+	fmt.Fprintf(os.Stderr, "impact of %s failing (transitively affected): %v\n",
+		node, g.Impact(node))
+	fmt.Fprintf(os.Stderr, "root-cause candidates when %s misbehaves: %v\n",
+		node, g.RootCauses(node))
+	rank := g.CriticalityRanking()
+	top := rank
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Fprintf(os.Stderr, "most critical components: ")
+	for i, c := range top {
+		if i > 0 {
+			fmt.Fprint(os.Stderr, ", ")
+		}
+		fmt.Fprintf(os.Stderr, "%s(%d)", c.Node, c.ImpactSize)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// loadLogs merges the given wire-format files (plain or .gz) into one
+// sorted store.
+func loadLogs(files []string) (*logmodel.Store, error) {
+	return logmodel.ReadFiles(files)
+}
+
+// score reads a tab-separated reference model and prints the confusion.
+func score(path string, pairs core.PairSet, deps core.AppServiceSet, store *logmodel.Store) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var conf core.Confusion
+	if deps != nil {
+		truth := make(core.AppServiceSet)
+		groups := make(map[string]bool)
+		for _, line := range lines {
+			parts := strings.Split(line, "\t")
+			if len(parts) != 2 {
+				continue
+			}
+			truth[core.AppServicePair{App: parts[0], Group: parts[1]}] = true
+			groups[parts[1]] = true
+		}
+		universe := len(store.Sources()) * len(groups)
+		conf = core.CompareAppService(deps, truth, universe)
+	} else {
+		truth := make(core.PairSet)
+		for _, line := range lines {
+			parts := strings.Split(line, "\t")
+			if len(parts) != 2 {
+				continue
+			}
+			truth[core.MakePair(parts[0], parts[1])] = true
+		}
+		n := len(store.Sources())
+		conf = core.ComparePairs(pairs, truth, n*(n-1)/2)
+	}
+	fmt.Fprintf(os.Stderr, "score: TP=%d FP=%d FN=%d precision=%.2f recall=%.2f\n",
+		conf.TP, conf.FP, conf.FN, conf.Precision(), conf.Recall())
+	return nil
+}
+
+// writeDot exports the mined model as a Graphviz digraph (deps) or graph
+// (pairs).
+func writeDot(path string, pairs core.PairSet, deps core.AppServiceSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if deps != nil {
+		fmt.Fprintln(f, "digraph dependencies {")
+		fmt.Fprintln(f, "  rankdir=LR;")
+		for _, d := range deps.SortedPairs() {
+			fmt.Fprintf(f, "  %q -> %q;\n", d.App, d.Group)
+		}
+	} else {
+		fmt.Fprintln(f, "graph dependencies {")
+		for _, p := range pairs.SortedPairs() {
+			fmt.Fprintf(f, "  %q -- %q;\n", p.A, p.B)
+		}
+	}
+	fmt.Fprintln(f, "}")
+	return nil
+}

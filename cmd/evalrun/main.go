@@ -1,0 +1,85 @@
+// Command evalrun reproduces the paper's evaluation (§4) on the simulated
+// HUG week: it regenerates every table and figure and prints them in order.
+//
+// Usage:
+//
+//	evalrun [-seed N] [-scale F] [-exp name[,name...]]
+//
+// Experiment names: table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7,
+// table2, fig8, fig9, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"logscape/internal/eval"
+	"logscape/internal/logmodel"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2005, "simulation seed")
+	scale := flag.Float64("scale", 1, "volume scale (1 = 1/100 of HUG)")
+	exps := flag.String("exp", "all", "comma-separated experiments to run")
+	report := flag.String("report", "", "write a full Markdown report to this file and exit")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+
+	opts := eval.DefaultOptions(*seed)
+	opts.Scale = *scale
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "simulating week (seed %d, scale %.2f)...\n", *seed, *scale)
+	r := eval.NewRunner(opts)
+	fmt.Fprintf(os.Stderr, "week ready in %v (%d apps, %d groups, %d true deps)\n",
+		time.Since(start).Round(time.Millisecond),
+		len(r.Topo.Apps), len(r.Topo.Groups), len(r.TrueDeps))
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalrun:", err)
+			os.Exit(1)
+		}
+		if err := r.WriteReport(f, eval.ReportOptions{}); err != nil {
+			fmt.Fprintln(os.Stderr, "evalrun:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "evalrun:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *report)
+		return
+	}
+
+	run := func(name string, f func() fmt.Stringer) {
+		if !sel(name) {
+			return
+		}
+		t0 := time.Now()
+		res := f()
+		fmt.Printf("=== %s (%v) ===\n%s\n", name, time.Since(t0).Round(time.Millisecond), res)
+	}
+
+	run("table1", func() fmt.Stringer { return r.Table1() })
+	run("fig1", func() fmt.Stringer { return r.Figure1(0, logmodel.TimeRange{}) })
+	run("fig2", func() fmt.Stringer { return r.Figure2(0) })
+	run("fig3", func() fmt.Stringer { return r.Figure3(0, 0, 0) })
+	run("fig4", func() fmt.Stringer { return eval.Figure4() })
+	run("fig5", func() fmt.Stringer { return r.Figure5() })
+	run("sessions", func() fmt.Stringer { return r.SessionSummary() })
+	run("fig6", func() fmt.Stringer { return r.Figure6() })
+	run("fig7", func() fmt.Stringer { return r.Figure7(6, nil) })
+	run("table2", func() fmt.Stringer { return r.Table2(nil) })
+	run("fig8", func() fmt.Stringer { return r.Figure8() })
+	run("fig9", func() fmt.Stringer { return r.Figure9(0) })
+	run("ablations", func() fmt.Stringer { return r.Ablations(0) })
+}

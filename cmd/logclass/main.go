@@ -1,0 +1,88 @@
+// Command logclass clusters the free-text messages of log files into
+// templates with the SLCT algorithm (Vaarandi; §2.2 of the paper) — the
+// preprocessing step §5 suggests for classifying an application's messages
+// before mining.
+//
+// Usage:
+//
+//	logclass [-source APP] [-support N] [-top N] LOGFILE...
+//
+// Without -source all messages are clustered together; with it only the
+// given application's messages are. Templates are printed by descending
+// support, with the share of messages left unclassified (outliers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logscape/internal/logmodel"
+	"logscape/internal/textproc"
+)
+
+func main() {
+	source := flag.String("source", "", "restrict to one log source (application)")
+	support := flag.Int("support", 0, "SLCT support threshold (default: 0.2% of messages, min 10)")
+	top := flag.Int("top", 25, "number of templates to print")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "logclass: at least one log file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*source, *support, *top, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "logclass:", err)
+		os.Exit(1)
+	}
+}
+
+func run(source string, support, top int, files []string) error {
+	store, err := logmodel.ReadFiles(files)
+	if err != nil {
+		return err
+	}
+	var messages []string
+	for _, e := range store.Entries() {
+		if source == "" || e.Source == source {
+			messages = append(messages, e.Message)
+		}
+	}
+	if len(messages) == 0 {
+		return fmt.Errorf("no messages for source %q", source)
+	}
+	if support == 0 {
+		support = len(messages) / 500
+		if support < 10 {
+			support = 10
+		}
+	}
+	fmt.Fprintf(os.Stderr, "clustering %d messages (support %d)\n", len(messages), support)
+
+	classifier := textproc.Train(messages, support)
+	counts, outliers := classifier.ClassCounts(messages)
+
+	type row struct {
+		id, count int
+	}
+	rows := make([]row, 0, len(counts))
+	for id, c := range counts {
+		rows = append(rows, row{id, c})
+	}
+	for i := 1; i < len(rows); i++ { // insertion sort by count desc
+		for j := i; j > 0 && rows[j].count > rows[j-1].count; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	fmt.Printf("%-8s %-8s template\n", "count", "share")
+	for i, r := range rows {
+		if i == top {
+			fmt.Printf("... and %d more templates\n", len(rows)-top)
+			break
+		}
+		fmt.Printf("%-8d %-7.2f%% %s\n", r.count,
+			100*float64(r.count)/float64(len(messages)), classifier.Template(r.id))
+	}
+	fmt.Printf("outliers: %d (%.2f%%)\n", outliers, 100*float64(outliers)/float64(len(messages)))
+	return nil
+}

@@ -1,0 +1,120 @@
+// Command loggen generates a synthetic hospital-information-system week:
+// per-day log files in logscape's wire format, the service-directory XML,
+// and the ground-truth reference models (app–app pairs and app→service
+// dependencies) for evaluation.
+//
+// Usage:
+//
+//	loggen [-seed N] [-scale F] [-days N] -out DIR
+//
+// The output directory receives:
+//
+//	day-0.log … day-N.log   per-day log streams
+//	directory.xml           the service directory
+//	truth-pairs.txt         app–app reference model (one pair per line)
+//	truth-deps.txt          app→service reference model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"logscape/internal/core"
+	"logscape/internal/hospital"
+	"logscape/internal/logmodel"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2005, "simulation seed")
+	scale := flag.Float64("scale", 1, "volume scale (1 = 1/100 of HUG)")
+	days := flag.Int("days", 7, "number of days to simulate")
+	out := flag.String("out", "", "output directory (required)")
+	gz := flag.Bool("gzip", false, "write gzipped log files (day-N.log.gz)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "loggen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*seed, *scale, *days, *out, *gz); err != nil {
+		fmt.Fprintln(os.Stderr, "loggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, scale float64, days int, out string, gz bool) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	topo := hospital.GenerateTopology(hospital.DefaultTopologyConfig(), seed)
+	cfg := hospital.DefaultConfig(seed)
+	cfg.Scale = scale
+	cfg.Days = days
+	sim := hospital.NewSimulator(cfg, topo)
+
+	// Directory.
+	df, err := os.Create(filepath.Join(out, "directory.xml"))
+	if err != nil {
+		return err
+	}
+	if err := topo.Directory().Write(df); err != nil {
+		df.Close()
+		return err
+	}
+	if err := df.Close(); err != nil {
+		return err
+	}
+
+	// Reference models.
+	pf, err := os.Create(filepath.Join(out, "truth-pairs.txt"))
+	if err != nil {
+		return err
+	}
+	pairs := topo.TrueAppPairs()
+	for _, p := range pairSetSorted(pairs) {
+		fmt.Fprintf(pf, "%s\t%s\n", p.A, p.B)
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(out, "truth-deps.txt"))
+	if err != nil {
+		return err
+	}
+	deps := topo.TrueAppServicePairs()
+	for _, d := range depSetSorted(deps) {
+		fmt.Fprintf(tf, "%s\t%s\n", d.App, d.Group)
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+
+	// Per-day logs.
+	total := 0
+	for d := 0; d < days; d++ {
+		store, stats := sim.GenerateDay(d)
+		name := filepath.Join(out, fmt.Sprintf("day-%d.log", d))
+		if gz {
+			name += ".gz"
+		}
+		if err := logmodel.WriteFile(name, store); err != nil {
+			return err
+		}
+		total += stats.TotalLogs
+		fmt.Printf("%s: %d logs (%s, %d sessions)\n",
+			name, stats.TotalLogs, stats.Date.Format("2006-01-02 Mon"), stats.Sessions)
+	}
+	fmt.Printf("total: %d logs, %d apps, %d service groups, %d true dependencies\n",
+		total, len(topo.Apps), len(topo.Groups), len(topo.Edges))
+	return nil
+}
+
+func pairSetSorted(s map[hospital.Pair]bool) []hospital.Pair {
+	return core.PairSet(s).SortedPairs()
+}
+
+func depSetSorted(s map[hospital.AppServicePair]bool) []hospital.AppServicePair {
+	return core.AppServiceSet(s).SortedPairs()
+}

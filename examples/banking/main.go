@@ -1,0 +1,89 @@
+// Banking demonstrates approach L2 outside the hospital domain — the
+// paper's §5 points at online banking as a setting where complete session
+// traces are logged. The example builds a synthetic session corpus of a
+// small online bank (login → accounts → transfer flows with a fraud check
+// riding along asynchronously), mines it with the co-occurrence technique
+// at several timeouts, and prints the discovered application pairs.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"logscape"
+)
+
+// buildCorpus simulates n online-banking sessions: the web frontend calls
+// the auth service, then account queries, and on transfers the payment
+// engine, which asynchronously triggers the fraud scorer.
+func buildCorpus(n int, seed int64) []logscape.Session {
+	rng := rand.New(rand.NewSource(seed))
+	var out []logscape.Session
+	for i := 0; i < n; i++ {
+		user := fmt.Sprintf("cust%04d", rng.Intn(500))
+		t := logscape.Millis(i) * 2 * logscape.MillisPerMinute
+		var es []logscape.Entry
+		log := func(dt logscape.Millis, src, msg string) {
+			es = append(es, logscape.Entry{
+				Time: t + dt, Source: src, Host: "web", User: user, Message: msg,
+			})
+		}
+		// Login flow: frontend → auth.
+		log(0, "WebFrontend", "login request")
+		log(40, "AuthService", "credentials verified")
+		log(90, "WebFrontend", "session established")
+		// Account overview: frontend → accounts.
+		log(4000, "WebFrontend", "account overview requested")
+		log(4060, "AccountService", "balances fetched")
+		// Some sessions make a transfer: frontend → payments (async fraud).
+		if rng.Float64() < 0.6 {
+			log(9000, "WebFrontend", "transfer submitted")
+			log(9080, "PaymentEngine", "transfer queued")
+			// The fraud scorer runs asynchronously, 2–8 s later.
+			fraudDelay := logscape.Millis(2000 + rng.Intn(6000))
+			log(9000+fraudDelay, "FraudScorer", "transaction scored")
+			log(9150, "WebFrontend", "transfer confirmation shown")
+		}
+		// Unrelated marketing banner service appears at random moments.
+		if rng.Float64() < 0.5 {
+			log(logscape.Millis(rng.Intn(12000)), "BannerService", "campaign banner served")
+		}
+		out = append(out, logscape.Session{User: user, Entries: sorted(es)})
+	}
+	return out
+}
+
+func sorted(es []logscape.Entry) []logscape.Entry {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Time < es[j-1].Time; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+	return es
+}
+
+func main() {
+	corpus := buildCorpus(400, 7)
+	fmt.Printf("mining %d online-banking sessions\n\n", len(corpus))
+
+	for _, timeout := range []float64{0.2, 1, 0} {
+		cfg := logscape.L2Config{}
+		if timeout == 0 {
+			cfg.Timeout = -1 // infinity
+			fmt.Println("timeout = infinity:")
+		} else {
+			cfg.Timeout = logscape.Millis(timeout * 1000)
+			fmt.Printf("timeout = %.1fs:\n", timeout)
+		}
+		res := logscape.MineL2(corpus, cfg)
+		for _, p := range res.DependentPairs().SortedPairs() {
+			fmt.Printf("  %s -- %s\n", p.A, p.B)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Note how the asynchronous FraudScorer link only appears once the")
+	fmt.Println("timeout admits multi-second gaps — and how an unbounded timeout")
+	fmt.Println("starts connecting unrelated services (the banner). This is the")
+	fmt.Println("trade-off the paper quantifies in figure 7 and table 2.")
+}

@@ -1,0 +1,3 @@
+module logscape
+
+go 1.22

@@ -1,0 +1,183 @@
+// Package baseline implements the delay-histogram technique of Agrawal et
+// al. (IBM Research, 2004), the closest non-intrusive related work the
+// paper discusses (§2.1): "one builds histograms of delays and performs a
+// χ² test to measure the deviation from a uniformly random distribution".
+//
+// For an ordered pair of components (A, B), the delay from each activity of
+// A to the next activity of B within a window is recorded; if B depends on
+// A (or responds to it), the delays concentrate around the typical service
+// latency, whereas for independent components they are close to uniform
+// over the window. A chi-squared goodness-of-fit test against uniformity
+// decides dependence.
+//
+// The technique serves as a comparison baseline for L1: both use only
+// (source, timestamp) information, and the paper notes the approach's
+// "accuracy and precision ... are inversely proportional to the degree of
+// parallelism (number of users) in the system".
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"logscape/internal/core"
+	"logscape/internal/logmodel"
+	"logscape/internal/pointproc"
+	"logscape/internal/stats"
+)
+
+// Config parameterizes the baseline.
+type Config struct {
+	// Window is the maximal delay considered (default 2 s).
+	Window logmodel.Millis
+	// Bins is the number of histogram bins (default 20).
+	Bins int
+	// Alpha is the significance level of the uniformity test (default
+	// 1e-4; the delay samples are large).
+	Alpha float64
+	// MinSamples is the minimum number of in-window delays required to
+	// test a pair (default 50).
+	MinSamples int
+	// MaxSamples caps the number of source events examined per pair
+	// (default 5000, to bound cost on high-volume pairs).
+	MaxSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 2 * logmodel.MillisPerSecond
+	}
+	if c.Bins == 0 {
+		c.Bins = 20
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1e-4
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 50
+	}
+	if c.MaxSamples == 0 {
+		c.MaxSamples = 5000
+	}
+	return c
+}
+
+// PairResult is the outcome for one ordered pair (A, B).
+type PairResult struct {
+	From, To string
+	// Samples is the number of in-window delays observed.
+	Samples int64
+	// X2 and PValue are the uniformity test results.
+	X2     float64
+	PValue float64
+	// Dependent is the decision: enough samples and uniformity rejected.
+	Dependent bool
+}
+
+// Result is the mined model.
+type Result struct {
+	// Ordered holds the per-ordered-pair outcomes.
+	Ordered map[[2]string]PairResult
+	// Config is the effective configuration.
+	Config Config
+}
+
+// DependentPairs returns the undirected union of dependent ordered pairs.
+func (r *Result) DependentPairs() core.PairSet {
+	out := make(core.PairSet)
+	for k, pr := range r.Ordered {
+		if pr.Dependent {
+			out[core.MakePair(k[0], k[1])] = true
+		}
+	}
+	return out
+}
+
+// DirectedDependencies returns the dependent ordered pairs as (from, to)
+// tuples — unlike L1 and L2, the delay-histogram technique is inherently
+// directional: a peaked delay from A's activity to B's next activity
+// indicates that B reacts to A.
+func (r *Result) DirectedDependencies() [][2]string {
+	var out [][2]string
+	for k, pr := range r.Ordered {
+		if pr.Dependent {
+			out = append(out, k)
+		}
+	}
+	sortDirected(out)
+	return out
+}
+
+func sortDirected(ps [][2]string) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+// DelayHistogram builds the histogram of delays from each point of a to the
+// next point of b within the window. Both sequences must be sorted.
+func DelayHistogram(a, b []logmodel.Millis, cfg Config) *stats.Histogram {
+	cfg = cfg.withDefaults()
+	h := stats.NewHistogram(0, float64(cfg.Window)/1000, cfg.Bins)
+	step := 1
+	if len(a) > cfg.MaxSamples {
+		step = len(a) / cfg.MaxSamples
+	}
+	for i := 0; i < len(a); i += step {
+		d := pointproc.DistNext(a[i], b)
+		if d == logmodel.Millis(math.MaxInt64) {
+			continue
+		}
+		h.Add(d.Seconds())
+	}
+	return h
+}
+
+// TestPair tests the ordered pair (A → B) given their sorted timestamp
+// sequences.
+func TestPair(from, to string, a, b []logmodel.Millis, cfg Config) PairResult {
+	cfg = cfg.withDefaults()
+	h := DelayHistogram(a, b, cfg)
+	pr := PairResult{From: from, To: to, Samples: h.N()}
+	if pr.Samples < int64(cfg.MinSamples) {
+		return pr
+	}
+	u, err := stats.ChiSquaredUniformity(h)
+	if err != nil {
+		return pr
+	}
+	pr.X2, pr.PValue = u.X2, u.PValue
+	pr.Dependent = u.NonUniform(cfg.Alpha)
+	return pr
+}
+
+// Mine runs the baseline over the given time range of the store for the
+// listed sources (all store sources when nil).
+func Mine(store *logmodel.Store, r logmodel.TimeRange, sources []string, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	if sources == nil {
+		sources = store.Sources()
+	}
+	idx := store.SourceIndexRange(r)
+	res := &Result{Ordered: make(map[[2]string]PairResult), Config: cfg}
+	for _, from := range sources {
+		a := idx[from]
+		if len(a) == 0 {
+			continue
+		}
+		for _, to := range sources {
+			if from == to {
+				continue
+			}
+			b := idx[to]
+			if len(b) == 0 {
+				continue
+			}
+			res.Ordered[[2]string{from, to}] = TestPair(from, to, a, b, cfg)
+		}
+	}
+	return res
+}

@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"logscape/internal/core"
+	"logscape/internal/logmodel"
+	"logscape/internal/pointproc"
+)
+
+func span() logmodel.TimeRange {
+	return logmodel.TimeRange{Start: 0, End: logmodel.MillisPerHour}
+}
+
+func TestDelayHistogramDependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := span()
+	a := pointproc.Homogeneous(rng, r, 0.3)
+	b := make([]logmodel.Millis, len(a))
+	for i, ts := range a {
+		b[i] = ts + logmodel.Millis(40+rng.Intn(20)) // tight latency band
+	}
+	h := DelayHistogram(a, b, Config{})
+	if h.N() == 0 {
+		t.Fatal("empty histogram")
+	}
+	// Nearly all mass should fall in the first bin (delays ≈ 50 ms,
+	// bin width = 2 s / 20 = 100 ms).
+	if float64(h.Counts[0]) < 0.9*float64(h.N()) {
+		t.Errorf("first bin = %d of %d", h.Counts[0], h.N())
+	}
+}
+
+func TestTestPairDependentVsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := span()
+	a := pointproc.Homogeneous(rng, r, 0.3)
+	dep := make([]logmodel.Millis, len(a))
+	for i, ts := range a {
+		dep[i] = ts + logmodel.Millis(30+rng.Intn(40))
+	}
+	ind := pointproc.Homogeneous(rng, r, 0.3)
+
+	prDep := TestPair("A", "B", a, dep, Config{})
+	if !prDep.Dependent {
+		t.Errorf("dependent pair not detected: %+v", prDep)
+	}
+	prInd := TestPair("A", "C", a, ind, Config{})
+	if prInd.Dependent {
+		t.Errorf("independent pair flagged: %+v", prInd)
+	}
+}
+
+func TestTestPairTooFewSamples(t *testing.T) {
+	a := []logmodel.Millis{0, 1000}
+	b := []logmodel.Millis{10, 1010}
+	pr := TestPair("A", "B", a, b, Config{})
+	if pr.Dependent {
+		t.Error("pair with 2 samples must not be flagged")
+	}
+	if pr.Samples != 2 {
+		t.Errorf("samples = %d", pr.Samples)
+	}
+}
+
+func TestMineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := span()
+	a := pointproc.Homogeneous(rng, r, 0.3)
+	b := make([]logmodel.Millis, len(a))
+	for i, ts := range a {
+		b[i] = ts + logmodel.Millis(25+rng.Intn(30))
+	}
+	c := pointproc.Homogeneous(rng, r, 0.3)
+	store := logmodel.NewStore(0)
+	add := func(src string, ts []logmodel.Millis) {
+		for _, x := range ts {
+			store.Append(logmodel.Entry{Time: x, Source: src, Severity: logmodel.SevInfo})
+		}
+	}
+	add("A", a)
+	add("B", b)
+	add("C", c)
+	store.Sort()
+
+	res := Mine(store, r, nil, Config{})
+	dep := res.DependentPairs()
+	if !dep[core.MakePair("A", "B")] {
+		t.Errorf("A-B missed: %+v", res.Ordered[[2]string{"A", "B"}])
+	}
+	if dep[core.MakePair("A", "C")] {
+		t.Errorf("A-C flagged: %+v", res.Ordered[[2]string{"A", "C"}])
+	}
+	if len(res.Ordered) != 6 {
+		t.Errorf("ordered pairs = %d, want 6", len(res.Ordered))
+	}
+}
+
+func TestDirectedDependencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := span()
+	a := pointproc.Homogeneous(rng, r, 0.3)
+	b := make([]logmodel.Millis, len(a))
+	for i, ts := range a {
+		b[i] = ts + logmodel.Millis(25+rng.Intn(30))
+	}
+	store := logmodel.NewStore(0)
+	for _, x := range a {
+		store.Append(logmodel.Entry{Time: x, Source: "A", Severity: logmodel.SevInfo})
+	}
+	for _, x := range b {
+		store.Append(logmodel.Entry{Time: x, Source: "B", Severity: logmodel.SevInfo})
+	}
+	store.Sort()
+	res := Mine(store, r, nil, Config{})
+	dir := res.DirectedDependencies()
+	// The A→B direction must be detected: B reacts to A with a tight delay.
+	found := false
+	for _, d := range dir {
+		if d == [2]string{"A", "B"} {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("A→B not in directed dependencies: %v", dir)
+	}
+}
+
+// TestParallelismDegradation reproduces the paper's observation about this
+// baseline: its accuracy is "inversely proportional to the degree of
+// parallelism (number of users) in the system". Superimposing unrelated
+// activity on A degrades the detection of A→B.
+func TestParallelismDegradation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := span()
+	base := pointproc.Homogeneous(rng, r, 0.2)
+	b := make([]logmodel.Millis, len(base))
+	for i, ts := range base {
+		b[i] = ts + logmodel.Millis(30+rng.Intn(30))
+	}
+	// Low parallelism: A is only the triggering activity.
+	low := TestPair("A", "B", base, b, Config{})
+	// High parallelism: A also carries 20× unrelated activity, and B
+	// carries unrelated responses.
+	noiseA := pointproc.Homogeneous(rng, r, 4)
+	noiseB := pointproc.Homogeneous(rng, r, 4)
+	aHigh := pointproc.MergeSorted(base, noiseA)
+	bHigh := pointproc.MergeSorted(b, noiseB)
+	high := TestPair("A", "B", aHigh, bHigh, Config{})
+	if !low.Dependent {
+		t.Fatalf("low-parallelism case not detected: %+v", low)
+	}
+	// The per-sample effect size (X²/N, a Cramér-style normalization) must
+	// collapse under parallelism even though the raw statistic grows with
+	// the sample count.
+	lowEffect := low.X2 / float64(low.Samples)
+	highEffect := high.X2 / float64(high.Samples)
+	if highEffect >= lowEffect/2 {
+		t.Errorf("effect did not degrade: low %.2f, high %.2f", lowEffect, highEffect)
+	}
+}
+
+func TestMaxSamplesCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := span()
+	a := pointproc.Homogeneous(rng, r, 10) // 36k events
+	b := pointproc.Homogeneous(rng, r, 10)
+	cfg := Config{MaxSamples: 100}
+	h := DelayHistogram(a, b, cfg.withDefaults())
+	if h.N() > 400 {
+		t.Errorf("histogram N = %d, want ≤ ~2×MaxSamples", h.N())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Window != 2*logmodel.MillisPerSecond || c.Bins != 20 ||
+		c.MinSamples != 50 || c.MaxSamples != 5000 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,438 @@
+// Package l1 implements the paper's approach L1 (§3.1): discovering
+// dependencies between applications by treating their logs as a pure
+// activity measure.
+//
+// For an ordered pair of applications (A, B), the technique compares the
+// typical distance of B's log timestamps to the *nearest* log of A against
+// the typical distance of uniformly random points to A. Distances are
+// summarized by their median with a robust order-statistics confidence
+// interval (Le Boudec); B is "closer than random" when its interval lies
+// entirely below the random one. Because the overall system load makes even
+// unrelated applications correlate over long horizons, the test is applied
+// locally per time slot (one hour) and the local outcomes are combined: a
+// pair is declared dependent when the ratio of positive slots pr and the
+// support s (the fraction of slots where both applications logged at least
+// MinLogs entries) clear the thresholds th_pr and th_s.
+//
+// The test is one-sided and uses the distance to the nearest arrival; the
+// original two-sided, next-arrival variant of Li & Ma (ICDM'04) is
+// available through Config for the ablations in DESIGN.md.
+package l1
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"logscape/internal/core"
+	"logscape/internal/logmodel"
+	"logscape/internal/pointproc"
+	"logscape/internal/stats"
+)
+
+// DistanceKind selects the distance definition used by the slot test.
+type DistanceKind int
+
+const (
+	// DistNearest is the paper's distance: to the nearest arrival
+	// (equation 1).
+	DistNearest DistanceKind = iota
+	// DistNext is Li & Ma's distance: to the next arrival.
+	DistNext
+)
+
+// StatisticKind selects the location statistic the slot test compares.
+type StatisticKind int
+
+const (
+	// StatMedian is the paper's choice: a robust order-statistics interval
+	// for the median.
+	StatMedian StatisticKind = iota
+	// StatMean is Li & Ma's original choice: a Student-t interval for the
+	// mean (sensitive to the heavy-tailed distance distributions of real
+	// log streams; kept for the DESIGN.md §5 ablation).
+	StatMean
+)
+
+// ReferenceKind selects the null model the candidate sample is compared
+// against.
+type ReferenceKind int
+
+const (
+	// RefUniform draws the random points uniformly over the slot — the
+	// paper's homogeneous reference.
+	RefUniform ReferenceKind = iota
+	// RefTotalActivity draws the random points proportionally to the
+	// overall log intensity (jittered resampling of all log timestamps in
+	// the slot) — the paper's §5 suggestion for handling non-stationarity:
+	// "instead of comparing the distance to B of logs in A with a
+	// homogenous process, we could use a non-homogenous process whose
+	// intensity is proportional to the total number of logs".
+	RefTotalActivity
+)
+
+// Config parameterizes the miner. The zero value is replaced by the paper's
+// §4.5 settings.
+type Config struct {
+	// SlotWidth is the width of the local test slots (default one hour,
+	// giving n = 24 slots per day).
+	SlotWidth logmodel.Millis
+	// MinLogs is the minimum number of logs each application must have in
+	// a slot for the slot to count (default 100; the paper's minlogs).
+	MinLogs int
+	// ThPr is the threshold on the ratio of positive slots (default 0.6).
+	ThPr float64
+	// ThS is the threshold on the support fraction s/n (default 0.3).
+	ThS float64
+	// Level is the confidence level of the per-slot median intervals
+	// (default 0.95, as in §3.1).
+	Level float64
+	// SampleSize bounds both the random sample S_r and the subsample of B
+	// (default 100 points per slot and direction).
+	SampleSize int
+	// Distance selects the distance definition (default DistNearest).
+	Distance DistanceKind
+	// TwoSided, when true, also accepts slots where B is significantly
+	// *farther* from A than random (Li & Ma's two-sided test; ablation).
+	TwoSided bool
+	// Statistic selects the location statistic (default StatMedian).
+	Statistic StatisticKind
+	// Reference selects the null model (default RefUniform).
+	Reference ReferenceKind
+	// ReferenceJitter is the jitter applied to resampled timestamps when
+	// Reference is RefTotalActivity (default 5 s).
+	ReferenceJitter logmodel.Millis
+	// Seed drives the random sampling.
+	Seed int64
+}
+
+// withDefaults fills zero fields with the paper's settings.
+func (c Config) withDefaults() Config {
+	if c.SlotWidth == 0 {
+		c.SlotWidth = logmodel.MillisPerHour
+	}
+	if c.MinLogs == 0 {
+		c.MinLogs = 100
+	}
+	if c.ThPr == 0 {
+		c.ThPr = 0.6
+	}
+	if c.ThS == 0 {
+		c.ThS = 0.3
+	}
+	if c.Level == 0 {
+		c.Level = 0.95
+	}
+	if c.ReferenceJitter == 0 {
+		c.ReferenceJitter = 5 * logmodel.MillisPerSecond
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 400
+	}
+	return c
+}
+
+// DirectionResult captures one direction of the per-slot test, with the
+// data behind figure 2 of the paper (two boxplots with median confidence
+// intervals).
+type DirectionResult struct {
+	// RandomSample and CandidateSample are the sorted distance samples S_r
+	// and S_b, in seconds.
+	RandomSample, CandidateSample []float64
+	// RandomCI and CandidateCI are the median confidence intervals.
+	RandomCI, CandidateCI stats.CI
+	// Positive reports whether CandidateCI lies entirely below RandomCI.
+	Positive bool
+	// Farther reports whether CandidateCI lies entirely above RandomCI
+	// (used by the two-sided variant).
+	Farther bool
+	// Valid reports whether both intervals could be computed.
+	Valid bool
+}
+
+// DirectionTest performs one direction of the slot test: are the points of
+// b closer to the sequence a than random points of the slot are? Both
+// sequences must be sorted. The uniform reference is used; see
+// DirectionTestRef for the non-homogeneous variant.
+func DirectionTest(rng *rand.Rand, a, b []logmodel.Millis, slot logmodel.TimeRange, cfg Config) DirectionResult {
+	return DirectionTestRef(rng, a, b, nil, slot, cfg)
+}
+
+// DirectionTestRef is DirectionTest with an explicit total-activity
+// sequence for the RefTotalActivity reference (ignored under RefUniform;
+// falls back to uniform when total is empty).
+func DirectionTestRef(rng *rand.Rand, a, b, total []logmodel.Millis, slot logmodel.TimeRange, cfg Config) DirectionResult {
+	cfg = cfg.withDefaults()
+	dist := pointproc.DistNearest
+	if cfg.Distance == DistNext {
+		dist = pointproc.DistNext
+	}
+	var random []logmodel.Millis
+	if cfg.Reference == RefTotalActivity && len(total) > 0 {
+		random = resampleJittered(rng, total, slot, cfg.SampleSize, cfg.ReferenceJitter)
+	} else {
+		random = pointproc.UniformPoints(rng, slot, cfg.SampleSize)
+	}
+	sub := pointproc.Subsample(rng, b, cfg.SampleSize)
+	sr := pointproc.DistanceSample(random, a, dist)
+	sb := pointproc.DistanceSample(sub, a, dist)
+	sort.Float64s(sr)
+	sort.Float64s(sb)
+	res := DirectionResult{RandomSample: sr, CandidateSample: sb}
+	ciFor := func(sorted []float64) (stats.CI, error) {
+		if cfg.Statistic == StatMean {
+			return stats.MeanCI(sorted, cfg.Level)
+		}
+		return stats.MedianCI(sorted, cfg.Level)
+	}
+	ciR, errR := ciFor(sr)
+	ciB, errB := ciFor(sb)
+	if errR != nil || errB != nil {
+		return res
+	}
+	res.RandomCI, res.CandidateCI = ciR, ciB
+	res.Valid = true
+	res.Positive = ciB.Below(ciR)
+	res.Farther = ciR.Below(ciB)
+	return res
+}
+
+// resampleJittered draws n points by resampling the total-activity
+// timestamps with uniform jitter of ±j, clamped to the slot — an empirical
+// non-homogeneous reference process whose intensity follows the overall
+// load.
+func resampleJittered(rng *rand.Rand, total []logmodel.Millis, slot logmodel.TimeRange, n int, j logmodel.Millis) []logmodel.Millis {
+	out := make([]logmodel.Millis, n)
+	for i := range out {
+		t := total[rng.Intn(len(total))] + logmodel.Millis(rng.Int63n(int64(2*j+1))) - j
+		if t < slot.Start {
+			t = slot.Start
+		}
+		if t >= slot.End {
+			t = slot.End - 1
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// SlotTest runs the test in both directions for one slot and reports
+// whether the slot is positive (both directions positive, per §3.1: "the
+// test ... is positive in both directions").
+func SlotTest(rng *rand.Rand, a, b []logmodel.Millis, slot logmodel.TimeRange, cfg Config) bool {
+	return SlotTestRef(rng, a, b, nil, slot, cfg)
+}
+
+// SlotTestRef is SlotTest with an explicit total-activity sequence for the
+// RefTotalActivity reference.
+func SlotTestRef(rng *rand.Rand, a, b, total []logmodel.Millis, slot logmodel.TimeRange, cfg Config) bool {
+	cfg = cfg.withDefaults()
+	d1 := DirectionTestRef(rng, b, a, total, slot, cfg) // distances of A's logs to B
+	if !d1.Valid || !(d1.Positive || cfg.TwoSided && d1.Farther) {
+		return false
+	}
+	d2 := DirectionTestRef(rng, a, b, total, slot, cfg) // distances of B's logs to A
+	return d2.Valid && (d2.Positive || cfg.TwoSided && d2.Farther)
+}
+
+// PairResult is the slotted outcome for one application pair.
+type PairResult struct {
+	Pair core.Pair
+	// Slots is the total number of slots n.
+	Slots int
+	// Support is the number s of slots where both applications reached
+	// MinLogs.
+	Support int
+	// Positive is the number p of supported slots whose test was positive
+	// in both directions.
+	Positive int
+	// Dependent is the final decision: pr ≥ ThPr and s/n ≥ ThS.
+	Dependent bool
+}
+
+// Ratio returns pr = p/s, the ratio of positive tests among the supported
+// slots (0 when the support is empty).
+func (r PairResult) Ratio() float64 {
+	if r.Support == 0 {
+		return 0
+	}
+	return float64(r.Positive) / float64(r.Support)
+}
+
+// SupportFraction returns s/n.
+func (r PairResult) SupportFraction() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.Support) / float64(r.Slots)
+}
+
+// Result is the mined model over all application pairs.
+type Result struct {
+	// Pairs holds the per-pair outcomes, keyed by normalized pair.
+	Pairs map[core.Pair]PairResult
+	// Config is the effective configuration.
+	Config Config
+}
+
+// DependentPairs returns the set of pairs declared dependent.
+func (r *Result) DependentPairs() core.PairSet {
+	out := make(core.PairSet)
+	for p, pr := range r.Pairs {
+		if pr.Dependent {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// pairSeed derives a deterministic RNG seed for one (slot, pair) test, so
+// mining results do not depend on iteration order or parallel scheduling.
+func pairSeed(base int64, slot int, p core.Pair) int64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(base))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(slot))
+	h.Write(buf[:])
+	io.WriteString(h, p.A)
+	h.Write([]byte{0})
+	io.WriteString(h, p.B)
+	return int64(h.Sum64())
+}
+
+// EqualCountSlots divides the range into n slots holding approximately
+// equal numbers of log entries — the simple adaptive-slotting strategy the
+// paper's §5 suggests for the stationarity issue ("one could create time
+// slots adaptively"): busy periods get shorter slots, quiet nights longer
+// ones. The returned slots cover r exactly.
+func EqualCountSlots(store *logmodel.Store, r logmodel.TimeRange, n int) []logmodel.TimeRange {
+	if n <= 0 {
+		return nil
+	}
+	entries := store.Range(r)
+	if len(entries) == 0 {
+		return []logmodel.TimeRange{r}
+	}
+	out := make([]logmodel.TimeRange, 0, n)
+	per := len(entries) / n
+	if per == 0 {
+		per = 1
+	}
+	start := r.Start
+	for i := per; i < len(entries); i += per {
+		end := entries[i].Time
+		if end <= start {
+			continue
+		}
+		out = append(out, logmodel.TimeRange{Start: start, End: end})
+		start = end
+		if len(out) == n-1 {
+			break
+		}
+	}
+	out = append(out, logmodel.TimeRange{Start: start, End: r.End})
+	return out
+}
+
+// Mine runs approach L1 over the given time range of the store. Sources
+// lists the applications to consider (all store sources when nil). Slots
+// are processed in parallel; results are deterministic for a fixed
+// Config.Seed regardless of scheduling.
+func Mine(store *logmodel.Store, r logmodel.TimeRange, sources []string, cfg Config) *Result {
+	return MineSlots(store, r.Split(cfg.withDefaults().SlotWidth), sources, cfg)
+}
+
+// MineSlots is Mine over an explicit slot partition (e.g. EqualCountSlots).
+func MineSlots(store *logmodel.Store, slots []logmodel.TimeRange, sources []string, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	if sources == nil {
+		sources = store.Sources()
+	}
+	res := &Result{Pairs: make(map[core.Pair]PairResult), Config: cfg}
+
+	// Initialize all pairs so support/ratio are well-defined even for
+	// never-supported pairs.
+	for i := range sources {
+		for j := i + 1; j < len(sources); j++ {
+			p := core.MakePair(sources[i], sources[j])
+			res.Pairs[p] = PairResult{Pair: p, Slots: len(slots)}
+		}
+	}
+
+	type slotOutcome struct {
+		pair     core.Pair
+		positive bool
+	}
+	outcomes := make([][]slotOutcome, len(slots))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(slots) {
+		workers = len(slots)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(atomic.AddInt64(&next, 1)) - 1
+				if si >= len(slots) {
+					return
+				}
+				slot := slots[si]
+				idx := store.SourceIndexRange(slot)
+				var eligible []string
+				for _, s := range sources {
+					if len(idx[s]) >= cfg.MinLogs {
+						eligible = append(eligible, s)
+					}
+				}
+				var total []logmodel.Millis
+				if cfg.Reference == RefTotalActivity {
+					entries := store.Range(slot)
+					total = make([]logmodel.Millis, len(entries))
+					for k := range entries {
+						total[k] = entries[k].Time
+					}
+				}
+				var out []slotOutcome
+				for i := range eligible {
+					for j := i + 1; j < len(eligible); j++ {
+						p := core.MakePair(eligible[i], eligible[j])
+						rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, si, p)))
+						out = append(out, slotOutcome{
+							pair:     p,
+							positive: SlotTestRef(rng, idx[p.A], idx[p.B], total, slot, cfg),
+						})
+					}
+				}
+				outcomes[si] = out
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, out := range outcomes {
+		for _, o := range out {
+			pr := res.Pairs[o.pair]
+			pr.Support++
+			if o.positive {
+				pr.Positive++
+			}
+			res.Pairs[o.pair] = pr
+		}
+	}
+	for p, pr := range res.Pairs {
+		pr.Dependent = pr.Ratio() >= cfg.ThPr && pr.SupportFraction() >= cfg.ThS
+		res.Pairs[p] = pr
+	}
+	return res
+}

@@ -1,0 +1,112 @@
+package l2
+
+import (
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+	"logscape/internal/stats"
+)
+
+// Delay analysis — the improvement the paper's §5 sketches for L2: "apply
+// algorithms like the ones presented in [1, 3, 25] to analyze typical
+// delays between logs. In case of L2, this might help to distinguish
+// frequent co-occurrences due to concurrency from those that are causally
+// related."
+//
+// For a bigram type (A, B), a causal interaction produces delays
+// concentrated around the service latency, while mere concurrent use
+// produces delays close to uniform over the observation window. The
+// distinction is the same chi-squared uniformity argument Agrawal et al.
+// use (internal/baseline), applied to within-session adjacencies.
+
+// DelayResult is the delay analysis of one bigram type.
+type DelayResult struct {
+	Type Bigram
+	// Samples is the number of in-window delays observed.
+	Samples int64
+	// X2, DF and PValue are the uniformity test outcome.
+	X2     float64
+	DF     int
+	PValue float64
+	// Peaked reports whether uniformity was rejected — evidence that the
+	// co-occurrence is causal rather than concurrent.
+	Peaked bool
+	// MedianDelay is the median observed delay in seconds (the "typical
+	// delay" of a causal pair).
+	MedianDelay float64
+}
+
+// DelayConfig parameterizes the analysis. The zero value uses a 2 s window
+// with 20 bins at significance 0.001 and at least 30 samples.
+type DelayConfig struct {
+	// Window is the maximal delay considered.
+	Window logmodel.Millis
+	// Bins is the number of histogram bins.
+	Bins int
+	// Alpha is the significance level for rejecting uniformity.
+	Alpha float64
+	// MinSamples is the minimum number of delays needed for a verdict.
+	MinSamples int
+}
+
+func (c DelayConfig) withDefaults() DelayConfig {
+	if c.Window == 0 {
+		c.Window = 2 * logmodel.MillisPerSecond
+	}
+	if c.Bins == 0 {
+		c.Bins = 20
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.001
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 30
+	}
+	return c
+}
+
+// AnalyzeDelays collects the delays of all in-window adjacencies of type t
+// across the session corpus and tests them against uniformity.
+func AnalyzeDelays(ss []sessions.Session, t Bigram, cfg DelayConfig) DelayResult {
+	cfg = cfg.withDefaults()
+	h := stats.NewHistogram(0, cfg.Window.Seconds(), cfg.Bins)
+	var delays []float64
+	for i := range ss {
+		es := ss[i].Entries
+		for j := 1; j < len(es); j++ {
+			if es[j-1].Source != t.First || es[j].Source != t.Second {
+				continue
+			}
+			d := es[j].Time - es[j-1].Time
+			if d < 0 || d > cfg.Window {
+				continue
+			}
+			h.Add(d.Seconds())
+			delays = append(delays, d.Seconds())
+		}
+	}
+	res := DelayResult{Type: t, Samples: h.N()}
+	if len(delays) > 0 {
+		res.MedianDelay = stats.MedianOf(delays)
+	}
+	if res.Samples < int64(cfg.MinSamples) {
+		return res
+	}
+	u, err := stats.ChiSquaredUniformity(h)
+	if err != nil {
+		return res
+	}
+	res.X2, res.DF, res.PValue = u.X2, u.DF, u.PValue
+	res.Peaked = u.NonUniform(cfg.Alpha)
+	return res
+}
+
+// ClassifyPairs runs the delay analysis for both orderings of every pair
+// and reports which pairs look causal (peaked in at least one ordering).
+// Pairs with insufficient samples map to false.
+func ClassifyPairs(ss []sessions.Session, pairs map[Bigram]bool, cfg DelayConfig) map[Bigram]DelayResult {
+	out := make(map[Bigram]DelayResult, len(pairs))
+	for t := range pairs {
+		out[t] = AnalyzeDelays(ss, t, cfg)
+	}
+	return out
+}

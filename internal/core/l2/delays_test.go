@@ -1,0 +1,85 @@
+package l2
+
+import (
+	"math/rand"
+	"testing"
+
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+)
+
+// delayCorpus builds sessions where A→B adjacencies have a tight latency
+// (causal) while C→D adjacencies have uniformly random gaps (concurrent).
+func delayCorpus(n int, seed int64) []sessions.Session {
+	rng := rand.New(rand.NewSource(seed))
+	var out []sessions.Session
+	for i := 0; i < n; i++ {
+		var es []logmodel.Entry
+		t := logmodel.Millis(i) * logmodel.MillisPerMinute
+		for j := 0; j < 4; j++ {
+			es = append(es, logmodel.Entry{Time: t, Source: "A"})
+			es = append(es, logmodel.Entry{Time: t + logmodel.Millis(40+rng.Intn(30)), Source: "B"})
+			t += 3000
+			es = append(es, logmodel.Entry{Time: t, Source: "C"})
+			es = append(es, logmodel.Entry{Time: t + logmodel.Millis(rng.Intn(2000)), Source: "D"})
+			t += 5000
+		}
+		out = append(out, sessions.Session{User: "u", Entries: es})
+	}
+	return out
+}
+
+func TestAnalyzeDelaysCausal(t *testing.T) {
+	ss := delayCorpus(30, 1)
+	res := AnalyzeDelays(ss, Bigram{"A", "B"}, DelayConfig{})
+	if res.Samples < 100 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+	if !res.Peaked {
+		t.Errorf("causal pair not peaked: %+v", res)
+	}
+	if res.MedianDelay < 0.03 || res.MedianDelay > 0.08 {
+		t.Errorf("median delay = %v, want ≈ 0.055 s", res.MedianDelay)
+	}
+}
+
+func TestAnalyzeDelaysConcurrent(t *testing.T) {
+	ss := delayCorpus(30, 2)
+	res := AnalyzeDelays(ss, Bigram{"C", "D"}, DelayConfig{})
+	if res.Samples < 100 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+	if res.Peaked {
+		t.Errorf("concurrent pair flagged as causal: %+v", res)
+	}
+}
+
+func TestAnalyzeDelaysInsufficientSamples(t *testing.T) {
+	ss := delayCorpus(2, 3)
+	res := AnalyzeDelays(ss, Bigram{"A", "B"}, DelayConfig{MinSamples: 1000})
+	if res.Peaked {
+		t.Error("verdict without enough samples")
+	}
+}
+
+func TestClassifyPairs(t *testing.T) {
+	ss := delayCorpus(30, 4)
+	pairs := map[Bigram]bool{
+		{First: "A", Second: "B"}: true,
+		{First: "C", Second: "D"}: true,
+	}
+	out := ClassifyPairs(ss, pairs, DelayConfig{})
+	if !out[Bigram{"A", "B"}].Peaked {
+		t.Error("A→B should be causal")
+	}
+	if out[Bigram{"C", "D"}].Peaked {
+		t.Error("C→D should be concurrent")
+	}
+}
+
+func TestDelayConfigDefaults(t *testing.T) {
+	c := DelayConfig{}.withDefaults()
+	if c.Window != 2*logmodel.MillisPerSecond || c.Bins != 20 || c.MinSamples != 30 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,276 @@
+// Package l2 implements the paper's approach L2 (§3.2): mining user
+// sessions with the co-occurrence statistics used for collocation
+// extraction in natural language processing.
+//
+// Each session is an ordered sequence of activity statements by
+// applications. All pairs of immediately succeeding logs with different
+// sources form bigrams; a configurable timeout drops bigrams spanning a
+// long silence (typically distinct user actions). For every observed bigram
+// type (A, B) a 2×2 contingency table is built over all bigrams, and
+// Dunning's log-likelihood ratio test decides association (Evert's UCS
+// notation; §3.2 and figure 4). Significant types with positive association
+// yield dependent application pairs; the undirected union over both
+// directions is the mined model.
+//
+// The package also implements the §5 direction heuristic ("counting the
+// number of times the first element of the first pair of the given type is
+// an instance of A, respectively B, in a sequence of logs that is not
+// interrupted by a pause of at least the length of the timeout parameter").
+package l2
+
+import (
+	"logscape/internal/core"
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+	"logscape/internal/stats"
+)
+
+// Measure selects the association statistic.
+type Measure int
+
+const (
+	// MeasureG2 is Dunning's log-likelihood ratio (the paper's choice).
+	MeasureG2 Measure = iota
+	// MeasurePearson is Pearson's X² (ablation; misbehaves on skewed
+	// tables).
+	MeasurePearson
+	// MeasureFisher is Fisher's exact test (one-sided) — the statistically
+	// safe choice for small corpora where the asymptotic tests' expected
+	// counts fall below a few per cell, at higher computational cost.
+	MeasureFisher
+)
+
+// NoTimeout disables the bigram gap timeout (the paper's "infinity").
+const NoTimeout logmodel.Millis = -1
+
+// Config parameterizes the miner. The zero value is replaced by the §4.6
+// settings.
+type Config struct {
+	// Timeout is the maximal gap between two logs forming a bigram
+	// (default 1 s, the paper's best setting; NoTimeout disables it).
+	Timeout logmodel.Millis
+	// Alpha is the significance level of the association test (default
+	// 0.05). Note that G² is extensive in the corpus size: at the paper's
+	// volume (hundreds of logs per session, millions per day) systematic
+	// co-occurrences reach huge statistics and the exact level hardly
+	// matters; at reduced simulation scales a stricter level trades false
+	// positives for recall (see the ablation benchmarks).
+	Alpha float64
+	// MinJoint is the minimum joint count O11 for a type to be considered
+	// (default 3; guards the asymptotic test against one-off adjacencies).
+	MinJoint float64
+	// Measure selects the association statistic (default MeasureG2).
+	Measure Measure
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = logmodel.MillisPerSecond
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	if c.MinJoint == 0 {
+		c.MinJoint = 3
+	}
+	return c
+}
+
+// Bigram is a directed pair of immediately succeeding log sources.
+type Bigram struct{ First, Second string }
+
+// ExtractBigrams returns the bigrams of one session under the given
+// timeout: consecutive entries with different sources whose gap does not
+// exceed the timeout (§3.2; bigrams with a = b are ignored).
+func ExtractBigrams(s *sessions.Session, timeout logmodel.Millis) []Bigram {
+	var out []Bigram
+	es := s.Entries
+	for i := 1; i < len(es); i++ {
+		if timeout >= 0 && es[i].Time-es[i-1].Time > timeout {
+			continue
+		}
+		if es[i-1].Source == es[i].Source {
+			continue
+		}
+		out = append(out, Bigram{First: es[i-1].Source, Second: es[i].Source})
+	}
+	return out
+}
+
+// Counts aggregates bigram occurrences over a session corpus.
+type Counts struct {
+	// Joint counts each bigram type.
+	Joint map[Bigram]float64
+	// First and Second are the marginal counts of each source in first,
+	// respectively second, position.
+	First, Second map[string]float64
+	// Total is the number of bigrams.
+	Total float64
+}
+
+// CountBigrams tallies the bigrams of all sessions under the timeout.
+func CountBigrams(ss []sessions.Session, timeout logmodel.Millis) *Counts {
+	c := &Counts{
+		Joint:  make(map[Bigram]float64),
+		First:  make(map[string]float64),
+		Second: make(map[string]float64),
+	}
+	for i := range ss {
+		for _, b := range ExtractBigrams(&ss[i], timeout) {
+			c.Joint[b]++
+			c.First[b.First]++
+			c.Second[b.Second]++
+			c.Total++
+		}
+	}
+	return c
+}
+
+// Table builds the 2×2 contingency table of a bigram type (figure 4 of the
+// paper): O11 counts bigrams (A, B), O12 bigrams (A, ¬B), O21 (¬A, B), O22
+// the rest.
+func (c *Counts) Table(t Bigram) stats.ContingencyTable {
+	o11 := c.Joint[t]
+	r1 := c.First[t.First]
+	c1 := c.Second[t.Second]
+	return stats.ContingencyTable{
+		O11: o11,
+		O12: r1 - o11,
+		O21: c1 - o11,
+		O22: c.Total - r1 - c1 + o11,
+	}
+}
+
+// TypeResult is the association outcome for one bigram type.
+type TypeResult struct {
+	Type  Bigram
+	Table stats.ContingencyTable
+	// Statistic is the association statistic (G² or X² per Config).
+	Statistic float64
+	// PValue is its asymptotic chi-squared (1 df) p-value.
+	PValue float64
+	// Positive reports attraction (O11 above expectation).
+	Positive bool
+	// Significant is the final per-type decision.
+	Significant bool
+}
+
+// Result is the mined model.
+type Result struct {
+	// Types holds the per-bigram-type outcomes.
+	Types map[Bigram]TypeResult
+	// Counts is the underlying aggregation.
+	Counts *Counts
+	// Config is the effective configuration.
+	Config Config
+}
+
+// DependentPairs returns the undirected union of significant types.
+func (r *Result) DependentPairs() core.PairSet {
+	out := make(core.PairSet)
+	for t, tr := range r.Types {
+		if tr.Significant {
+			out[core.MakePair(t.First, t.Second)] = true
+		}
+	}
+	return out
+}
+
+// Mine runs approach L2 over the session corpus.
+func Mine(ss []sessions.Session, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	counts := CountBigrams(ss, cfg.Timeout)
+	res := &Result{Types: make(map[Bigram]TypeResult), Counts: counts, Config: cfg}
+	for t := range counts.Joint {
+		tab := counts.Table(t)
+		tr := TypeResult{
+			Type:     t,
+			Table:    tab,
+			Positive: stats.PositiveAssociation(tab),
+		}
+		switch cfg.Measure {
+		case MeasurePearson:
+			tr.Statistic = stats.PearsonX2(tab)
+			tr.PValue = stats.ChiSquaredSF(tr.Statistic, 1)
+		case MeasureFisher:
+			one, _ := stats.FisherExact(tab)
+			// The exact test is inherently one-sided toward attraction; use
+			// the p-value directly and record it as the statistic's stand-in.
+			tr.PValue = one
+			tr.Statistic = -one
+		default:
+			tr.Statistic = stats.LogLikelihoodG2(tab)
+			tr.PValue = stats.ChiSquaredSF(tr.Statistic, 1)
+		}
+		tr.Significant = tr.Positive && tab.O11 >= cfg.MinJoint && tr.PValue < cfg.Alpha
+		res.Types[t] = tr
+	}
+	return res
+}
+
+// DirectionHint is the §5 heuristic's evidence for one dependent pair.
+type DirectionHint struct {
+	Pair core.Pair
+	// AFirst counts the runs in which the first bigram of the pair's type
+	// had Pair.A in first position; BFirst likewise for Pair.B.
+	AFirst, BFirst int
+}
+
+// Caller returns the heuristic's guess for the invoking side, or "" when
+// the evidence is balanced.
+func (d DirectionHint) Caller() string {
+	switch {
+	case d.AFirst > d.BFirst:
+		return d.Pair.A
+	case d.BFirst > d.AFirst:
+		return d.Pair.B
+	default:
+		return ""
+	}
+}
+
+// DirectionHints applies the §5 direction heuristic to the given dependent
+// pairs: sessions are cut into runs not interrupted by a pause of at least
+// the timeout, and for each run the first adjacency of each pair votes for
+// the source that appeared first.
+func DirectionHints(ss []sessions.Session, pairs core.PairSet, timeout logmodel.Millis) map[core.Pair]DirectionHint {
+	out := make(map[core.Pair]DirectionHint, len(pairs))
+	for p := range pairs {
+		out[p] = DirectionHint{Pair: p}
+	}
+	for i := range ss {
+		es := ss[i].Entries
+		runStart := 0
+		for j := 1; j <= len(es); j++ {
+			if j < len(es) && (timeout < 0 || es[j].Time-es[j-1].Time <= timeout) {
+				continue
+			}
+			scoreRun(es[runStart:j], out)
+			runStart = j
+		}
+	}
+	return out
+}
+
+// scoreRun registers the first adjacency of every tracked pair in the run.
+func scoreRun(es []logmodel.Entry, hints map[core.Pair]DirectionHint) {
+	seen := make(map[core.Pair]bool)
+	for i := 1; i < len(es); i++ {
+		a, b := es[i-1].Source, es[i].Source
+		if a == b {
+			continue
+		}
+		p := core.MakePair(a, b)
+		h, tracked := hints[p]
+		if !tracked || seen[p] {
+			continue
+		}
+		seen[p] = true
+		if a == p.A {
+			h.AFirst++
+		} else {
+			h.BFirst++
+		}
+		hints[p] = h
+	}
+}

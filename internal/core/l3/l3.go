@@ -1,0 +1,142 @@
+// Package l3 implements the paper's approach L3 (§3.3): discovering
+// application → service dependencies by finding citations of
+// service-directory entries in the free text of log messages.
+//
+// Although every developer logs remote invocations in their own format, the
+// cited element — the directory group id or its root URL — is almost always
+// present, "as this kind of information is crucial for debugging and
+// tracing purposes". The decision rule is deliberately simple: if, and only
+// if, there are logs from application A referring to service group S, A
+// depends on S. Stop patterns suppress server-side logs that would
+// otherwise invert the direction (the callee logging the same call).
+package l3
+
+import (
+	"logscape/internal/core"
+	"logscape/internal/directory"
+	"logscape/internal/logmodel"
+)
+
+// Config parameterizes the miner.
+type Config struct {
+	// Stops are the stop patterns (§3.3). Nil mines without stop patterns
+	// (the ablation of §4.8, where inverted false positives rise from 2 to
+	// 24).
+	Stops []directory.StopPattern
+	// MinCitations is the number of citing logs required per dependency
+	// (default 1, the paper's rule).
+	MinCitations int
+	// SelfCitations, when true, keeps citations of groups owned by the
+	// citing application itself. The paper's model excludes them (an
+	// application does not "depend on" its own entry; such logs are
+	// server-side echoes) — but the ablation without stop patterns needs
+	// them visible.
+	SelfCitations bool
+	// Owner maps a group id to the application owning it; used to exclude
+	// self-citations. May be nil when SelfCitations is true.
+	Owner map[string]string
+}
+
+// Evidence is the citation evidence for one mined dependency.
+type Evidence struct {
+	Pair core.AppServicePair
+	// Count is the number of citing log entries.
+	Count int
+	// First and Last are the timestamps of the first and last citation.
+	First, Last logmodel.Millis
+	// Stopped is the number of additional citations that were suppressed
+	// by stop patterns (diagnostic; suppressed citations do not count
+	// toward Count).
+	Stopped int
+}
+
+// Result is the mined model with evidence.
+type Result struct {
+	// Evidence holds the per-dependency citation evidence, keyed by pair.
+	// Pairs whose Count is below MinCitations are retained for diagnostics
+	// but excluded from Dependencies.
+	Evidence map[core.AppServicePair]*Evidence
+	// Config is the effective configuration.
+	Config Config
+}
+
+// Dependencies returns the mined set of application → service
+// dependencies.
+func (r *Result) Dependencies() core.AppServiceSet {
+	min := r.Config.MinCitations
+	if min == 0 {
+		min = 1
+	}
+	out := make(core.AppServiceSet)
+	for p, ev := range r.Evidence {
+		if ev.Count >= min {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// Miner is a reusable L3 miner for one directory and configuration; the
+// citation scanner (an Aho–Corasick automaton over all group ids and URL
+// fragments) is built once.
+type Miner struct {
+	cfg     Config
+	scanner *directory.CitationScanner
+}
+
+// NewMiner builds a miner for the directory.
+func NewMiner(dir *directory.Directory, cfg Config) *Miner {
+	if cfg.MinCitations == 0 {
+		cfg.MinCitations = 1
+	}
+	return &Miner{cfg: cfg, scanner: directory.NewCitationScanner(dir, cfg.Stops)}
+}
+
+// Mine scans all entries of the store (restricted to r when r is non-zero)
+// and returns the mined model.
+func (m *Miner) Mine(store *logmodel.Store, r logmodel.TimeRange) *Result {
+	entries := store.Entries()
+	if r != (logmodel.TimeRange{}) {
+		entries = store.Range(r)
+	}
+	res := &Result{Evidence: make(map[core.AppServicePair]*Evidence), Config: m.cfg}
+	for i := range entries {
+		e := &entries[i]
+		cits := m.scanner.Citations(e.Message)
+		if cits == nil {
+			continue
+		}
+		stopped := m.scanner.Stopped(e.Source, e.Message)
+		for _, id := range cits {
+			if !m.cfg.SelfCitations && m.cfg.Owner != nil && m.cfg.Owner[id] == e.Source {
+				continue
+			}
+			p := core.AppServicePair{App: e.Source, Group: id}
+			ev := res.Evidence[p]
+			if ev == nil {
+				ev = &Evidence{Pair: p, First: e.Time, Last: e.Time}
+				res.Evidence[p] = ev
+			}
+			if stopped {
+				ev.Stopped++
+				continue
+			}
+			if ev.Count == 0 {
+				ev.First = e.Time
+			}
+			ev.Count++
+			ev.Last = e.Time
+		}
+	}
+	return res
+}
+
+// OwnerMap builds the group → owner map for Config.Owner from parallel
+// slices of group ids and owner names.
+func OwnerMap(ids, owners []string) map[string]string {
+	m := make(map[string]string, len(ids))
+	for i := range ids {
+		m[ids[i]] = owners[i]
+	}
+	return m
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMakePair(t *testing.T) {
+	if p := MakePair("Z", "A"); p.A != "A" || p.B != "Z" {
+		t.Errorf("MakePair = %+v", p)
+	}
+	if MakePair("A", "Z") != MakePair("Z", "A") {
+		t.Error("not symmetric")
+	}
+	if s := MakePair("B", "A").String(); s != "{A, B}" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAppServicePairString(t *testing.T) {
+	p := AppServicePair{App: "A", Group: "S"}
+	if p.String() != "A -> S" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestSortedPairs(t *testing.T) {
+	s := PairSet{
+		MakePair("B", "C"): true,
+		MakePair("A", "B"): true,
+		MakePair("A", "C"): true,
+	}
+	got := s.SortedPairs()
+	want := []Pair{{A: "A", B: "B"}, {A: "A", B: "C"}, {A: "B", B: "C"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedPairs = %v", got)
+	}
+}
+
+func TestSortedAppServicePairs(t *testing.T) {
+	s := AppServiceSet{
+		{App: "B", Group: "X"}: true,
+		{App: "A", Group: "Y"}: true,
+		{App: "A", Group: "X"}: true,
+	}
+	got := s.SortedPairs()
+	want := []AppServicePair{{App: "A", Group: "X"}, {App: "A", Group: "Y"}, {App: "B", Group: "X"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedPairs = %v", got)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 30, FP: 10, FN: 70, TN: 890}
+	if p := c.Precision(); p != 0.75 {
+		t.Errorf("Precision = %v", p)
+	}
+	if r := c.Recall(); r != 0.3 {
+		t.Errorf("Recall = %v", r)
+	}
+	if f := c.F1(); f < 0.42 || f > 0.43 {
+		t.Errorf("F1 = %v", f)
+	}
+	if fpr := c.FalsePositiveRate(); fpr < 0.011 || fpr > 0.0112 {
+		t.Errorf("FPR = %v", fpr)
+	}
+	var zero Confusion
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 || zero.FalsePositiveRate() != 0 {
+		t.Error("zero confusion metrics should be 0")
+	}
+}
+
+func TestComparePairs(t *testing.T) {
+	truth := PairSet{MakePair("A", "B"): true, MakePair("A", "C"): true}
+	predicted := PairSet{MakePair("A", "B"): true, MakePair("B", "C"): true}
+	c := ComparePairs(predicted, truth, 10)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 7 {
+		t.Errorf("confusion = %+v", c)
+	}
+	// Universe smaller than counts clamps TN at 0.
+	c2 := ComparePairs(predicted, truth, 2)
+	if c2.TN != 0 {
+		t.Errorf("clamped TN = %d", c2.TN)
+	}
+}
+
+func TestCompareAppService(t *testing.T) {
+	truth := AppServiceSet{{App: "A", Group: "S"}: true}
+	predicted := AppServiceSet{{App: "A", Group: "S"}: true, {App: "A", Group: "T"}: true}
+	c := CompareAppService(predicted, truth, 100)
+	if c.TP != 1 || c.FP != 1 || c.FN != 0 || c.TN != 98 {
+		t.Errorf("confusion = %+v", c)
+	}
+}

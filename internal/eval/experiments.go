@@ -1,0 +1,412 @@
+package eval
+
+import (
+	"sort"
+	"time"
+
+	"logscape/internal/core"
+	"logscape/internal/core/l2"
+	"logscape/internal/logmodel"
+	"logscape/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — days in the test period with number of logs.
+
+// Table1Row is one day of the test period.
+type Table1Row struct {
+	Day     int
+	Date    time.Time
+	Weekend bool
+	Logs    int
+}
+
+// Table1Result reproduces table 1: the per-day log volume of the test week.
+type Table1Result struct {
+	Rows []Table1Row
+	// Total is the week's log count (56.8 M in the paper; ~1/100 here).
+	Total int
+}
+
+// Table1 generates the table from the simulated week.
+func (r *Runner) Table1() Table1Result {
+	var res Table1Result
+	for d := range r.Stores {
+		row := Table1Row{
+			Day:     d,
+			Date:    r.Stats[d].Date,
+			Weekend: r.Stats[d].Weekend,
+			Logs:    r.Stats[d].TotalLogs,
+		}
+		res.Rows = append(res.Rows, row)
+		res.Total += row.Logs
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5, 6, 8 — per-day positive decisions of each technique.
+
+// DayDecisions is one day's outcome for a technique: the lower (true
+// positives) and upper (false positives) areas of figures 5, 6 and 8, with
+// the printed true-positive ratio.
+type DayDecisions struct {
+	Day     int
+	Date    time.Time
+	Weekend bool
+	TP, FP  int
+	// FN is the number of reference dependencies not detected that day.
+	FN int
+}
+
+// Ratio returns the ratio of true positives among the positive decisions.
+func (d DayDecisions) Ratio() float64 { return ratioOrNaN(d.TP, d.FP) }
+
+// PerDayResult aggregates a technique's per-day decisions across the week.
+type PerDayResult struct {
+	// Technique is "L1", "L2" or "L3".
+	Technique string
+	Days      []DayDecisions
+	// RatioCI is the order-statistics confidence interval for the median
+	// true-positive ratio across days — with 7 days its achievable level
+	// is 0.984, the level the paper reports.
+	RatioCI stats.CI
+	// RatioCILevel is the level actually used.
+	RatioCILevel float64
+}
+
+// ratioCI computes the median-ratio CI across days at the best feasible
+// level ≤ 0.984.
+func ratioCI(days []DayDecisions) (stats.CI, float64) {
+	ratios := make([]float64, 0, len(days))
+	for _, d := range days {
+		if x := d.Ratio(); x == x { // skip NaN
+			ratios = append(ratios, x)
+		}
+	}
+	sort.Float64s(ratios)
+	for _, level := range []float64{0.984, 0.95, 0.9, 0.75, 0.5} {
+		if ci, err := stats.MedianCI(ratios, level); err == nil {
+			return ci, level
+		}
+	}
+	return stats.CI{}, 0
+}
+
+// Figure5 reproduces figure 5: per-day true and false positives of approach
+// L1 with the configured thresholds.
+func (r *Runner) Figure5() PerDayResult {
+	res := PerDayResult{Technique: "L1"}
+	for d := range r.Stores {
+		conf := r.ScorePairs(r.MineL1Day(d).DependentPairs())
+		res.Days = append(res.Days, DayDecisions{
+			Day: d, Date: r.Stats[d].Date, Weekend: r.Stats[d].Weekend,
+			TP: conf.TP, FP: conf.FP, FN: conf.FN,
+		})
+	}
+	res.RatioCI, res.RatioCILevel = ratioCI(res.Days)
+	return res
+}
+
+// Figure6 reproduces figure 6: per-day true and false positives of approach
+// L2 with timeout = 1 s.
+func (r *Runner) Figure6() PerDayResult {
+	res := PerDayResult{Technique: "L2"}
+	for d := range r.Stores {
+		conf := r.ScorePairs(r.MineL2Day(d, 0).DependentPairs())
+		res.Days = append(res.Days, DayDecisions{
+			Day: d, Date: r.Stats[d].Date, Weekend: r.Stats[d].Weekend,
+			TP: conf.TP, FP: conf.FP, FN: conf.FN,
+		})
+	}
+	res.RatioCI, res.RatioCILevel = ratioCI(res.Days)
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — influence of the timeout on one day.
+
+// TimeoutPoint is one timeout setting's outcome on the sweep day.
+type TimeoutPoint struct {
+	// Timeout in milliseconds; l2.NoTimeout stands for infinity.
+	Timeout logmodel.Millis
+	TP, FP  int
+}
+
+// Ratio returns the true-positive ratio at this timeout.
+func (p TimeoutPoint) Ratio() float64 { return ratioOrNaN(p.TP, p.FP) }
+
+// Figure7Result reproduces figure 7: positive decisions of L2 on the sweep
+// day for different timeout values.
+type Figure7Result struct {
+	Day    int
+	Date   time.Time
+	Points []TimeoutPoint
+}
+
+// DefaultTimeoutSweep lists the timeout values of figure 7 (seconds 0.2 to
+// 3 plus infinity).
+func DefaultTimeoutSweep() []logmodel.Millis {
+	return []logmodel.Millis{200, 300, 400, 600, 800, 1000, 1500, 2000, 3000, l2.NoTimeout}
+}
+
+// Figure7 runs the timeout sweep on the given day (the paper uses
+// 12.12.2005, the last day of the week: day 6).
+func (r *Runner) Figure7(day int, timeouts []logmodel.Millis) Figure7Result {
+	if timeouts == nil {
+		timeouts = DefaultTimeoutSweep()
+	}
+	res := Figure7Result{Day: day, Date: r.Stats[day].Date}
+	ss, _ := r.SessionsOfDay(day)
+	for _, to := range timeouts {
+		cfg := r.Opts.L2
+		cfg.Timeout = to
+		conf := r.ScorePairs(l2.Mine(ss, cfg).DependentPairs())
+		res.Points = append(res.Points, TimeoutPoint{Timeout: to, TP: conf.TP, FP: conf.FP})
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — median influence of the timeout across the week.
+
+// Table2Row is the paired comparison of one finite timeout against
+// infinity.
+type Table2Row struct {
+	Timeout logmodel.Millis
+	// RatioDiff is the median of tpr_to − tpr_inf (in percentage points)
+	// with its confidence interval.
+	RatioDiffMedian float64
+	RatioDiffCI     stats.CI
+	// TPDiff is the median of tp_to − tp_inf with its confidence interval.
+	TPDiffMedian float64
+	TPDiffCI     stats.CI
+	// WilcoxonRatioP and WilcoxonTPP are the two-sided signed-rank
+	// p-values for the respective paired samples.
+	WilcoxonRatioP float64
+	WilcoxonTPP    float64
+}
+
+// Table2Result reproduces table 2 (§4.7): for each timeout, the paired
+// median test across the seven days. The paper's finding: every finite
+// timeout increases the true-positive ratio (CI strictly positive) and
+// decreases the absolute number of true positives (CI strictly negative),
+// with Wilcoxon p = 0.0156 when all seven days agree in sign.
+type Table2Result struct {
+	Rows []Table2Row
+	// Level is the confidence level of the interval (0.98 in the paper).
+	Level float64
+}
+
+// Table2 runs the paired timeout analysis for the given finite timeouts
+// (default: 0.3, 0.6, 0.8, 1.0 seconds).
+func (r *Runner) Table2(timeouts []logmodel.Millis) Table2Result {
+	if timeouts == nil {
+		timeouts = []logmodel.Millis{300, 600, 800, 1000}
+	}
+	const level = 0.98
+	res := Table2Result{Level: level}
+
+	days := len(r.Stores)
+	type dayOutcome struct {
+		tpr, tp float64
+	}
+	outcome := func(day int, to logmodel.Millis) dayOutcome {
+		conf := r.ScorePairs(r.MineL2Day(day, to).DependentPairs())
+		return dayOutcome{
+			tpr: 100 * ratioOrNaN(conf.TP, conf.FP), // percentage points
+			tp:  float64(conf.TP),
+		}
+	}
+	inf := make([]dayOutcome, days)
+	for d := 0; d < days; d++ {
+		inf[d] = outcome(d, l2.NoTimeout)
+	}
+	for _, to := range timeouts {
+		ratioDiff := make([]float64, days)
+		tpDiff := make([]float64, days)
+		for d := 0; d < days; d++ {
+			o := outcome(d, to)
+			ratioDiff[d] = o.tpr - inf[d].tpr
+			tpDiff[d] = o.tp - inf[d].tp
+		}
+		row := Table2Row{Timeout: to}
+		row.RatioDiffMedian = stats.MedianOf(ratioDiff)
+		row.TPDiffMedian = stats.MedianOf(tpDiff)
+		if ci, err := stats.MedianCIOf(ratioDiff, level); err == nil {
+			row.RatioDiffCI = ci
+		}
+		if ci, err := stats.MedianCIOf(tpDiff, level); err == nil {
+			row.TPDiffCI = ci
+		}
+		if w, err := stats.WilcoxonSignedRankDiffs(ratioDiff); err == nil {
+			row.WilcoxonRatioP = w.PValue
+		}
+		if w, err := stats.WilcoxonSignedRankDiffs(tpDiff); err == nil {
+			row.WilcoxonTPP = w.PValue
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — approach L3 with error taxonomy.
+
+// FNKind classifies a false negative of L3 per the §4.8 analysis.
+type FNKind string
+
+// False-negative kinds.
+const (
+	// FNRare: the dependency is real but was never exercised in the test
+	// period; the paper reclassifies these as true negatives.
+	FNRare FNKind = "rare (true negative)"
+	// FNUnlogged: the interaction happened but the caller never logs it.
+	FNUnlogged FNKind = "not logged"
+	// FNWrongName: the caller logs the invocation under a wrong directory
+	// id.
+	FNWrongName FNKind = "wrong name"
+	// FNOther: undetected for any other reason (e.g. not realized on
+	// enough days).
+	FNOther FNKind = "other"
+)
+
+// FPKind classifies a false positive of L3 per the §4.8 analysis.
+type FPKind string
+
+// False-positive kinds.
+const (
+	// FPInverted: a server-side log citing the served group survived the
+	// stop patterns.
+	FPInverted FPKind = "inverted (server log)"
+	// FPStackTrace: an exception trace returned by an intermediary cited a
+	// transitively used group.
+	FPStackTrace FPKind = "transitive (stack trace)"
+	// FPCoincidence: free text coincidentally matched a group id (e.g. a
+	// patient name).
+	FPCoincidence FPKind = "coincidence"
+	// FPSimilarID: the application cited a similar but erroneous group id.
+	FPSimilarID FPKind = "similar id"
+	// FPOther: any other cause.
+	FPOther FPKind = "other"
+)
+
+// Figure8Result reproduces figure 8 and the §4.8 error analysis.
+type Figure8Result struct {
+	PerDay PerDayResult
+	// UnionTP, UnionFP and UnionFN are the week-union counts ("combining
+	// the results from all days").
+	UnionTP, UnionFP, UnionFN int
+	// FNByKind and FPByKind classify the union's errors against the
+	// simulator's injected phenomena.
+	FNByKind map[FNKind][]core.AppServicePair
+	FPByKind map[FPKind][]core.AppServicePair
+	// InvertedWithoutStops is the number of inverted dependencies when
+	// mining without stop patterns (24 in the paper, vs 2 with).
+	InvertedWithoutStops int
+}
+
+// Figure8 runs approach L3 for every day and computes the error taxonomy.
+func (r *Runner) Figure8() Figure8Result {
+	res := Figure8Result{
+		PerDay:   PerDayResult{Technique: "L3"},
+		FNByKind: make(map[FNKind][]core.AppServicePair),
+		FPByKind: make(map[FPKind][]core.AppServicePair),
+	}
+	union := make(core.AppServiceSet)
+	for d := range r.Stores {
+		deps := r.MineL3Day(d).Dependencies()
+		for p := range deps {
+			union[p] = true
+		}
+		conf := r.ScoreDeps(deps)
+		res.PerDay.Days = append(res.PerDay.Days, DayDecisions{
+			Day: d, Date: r.Stats[d].Date, Weekend: r.Stats[d].Weekend,
+			TP: conf.TP, FP: conf.FP, FN: conf.FN,
+		})
+	}
+	res.PerDay.RatioCI, res.PerDay.RatioCILevel = ratioCI(res.PerDay.Days)
+
+	// Union analysis.
+	ph := r.Topo.Phenomena
+	rare := toSet(ph.RareEdges)
+	unlogged := toSet(ph.UnloggedEdges)
+	wrongName := make(core.AppServiceSet)
+	for p := range ph.WrongNameEdges {
+		wrongName[p] = true
+	}
+	similar := toSet(ph.SimilarIDPairs)
+	coincidence := toSet(ph.CoincidencePairs)
+	stackTrace := toSet(ph.StackTracePairs)
+
+	for p := range union {
+		if r.TrueDeps[p] {
+			res.UnionTP++
+			continue
+		}
+		res.UnionFP++
+		kind := FPOther
+		switch {
+		case r.Owner[p.Group] == p.App:
+			kind = FPInverted
+		case similar[p]:
+			kind = FPSimilarID
+		case coincidence[p]:
+			kind = FPCoincidence
+		case stackTrace[p]:
+			kind = FPStackTrace
+		}
+		res.FPByKind[kind] = append(res.FPByKind[kind], p)
+	}
+	for p := range r.TrueDeps {
+		if union[p] {
+			continue
+		}
+		res.UnionFN++
+		kind := FNOther
+		switch {
+		case rare[p]:
+			kind = FNRare
+		case unlogged[p]:
+			kind = FNUnlogged
+		case wrongName[p]:
+			kind = FNWrongName
+		}
+		res.FNByKind[kind] = append(res.FNByKind[kind], p)
+	}
+	for _, m := range res.FNByKind {
+		sortAppServicePairs(m)
+	}
+	for _, m := range res.FPByKind {
+		sortAppServicePairs(m)
+	}
+
+	// Ablation: without stop patterns, count inverted dependencies.
+	invertedUnion := make(core.AppServiceSet)
+	for d := range r.Stores {
+		for p := range r.MineL3DayNoStops(d).Dependencies() {
+			if r.Owner[p.Group] == p.App {
+				invertedUnion[p] = true
+			}
+		}
+	}
+	res.InvertedWithoutStops = len(invertedUnion)
+	return res
+}
+
+func toSet(ps []core.AppServicePair) core.AppServiceSet {
+	s := make(core.AppServiceSet, len(ps))
+	for _, p := range ps {
+		s[p] = true
+	}
+	return s
+}
+
+func sortAppServicePairs(ps []core.AppServicePair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].App != ps[j].App {
+			return ps[i].App < ps[j].App
+		}
+		return ps[i].Group < ps[j].Group
+	})
+}

@@ -1,0 +1,256 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+
+	"logscape/internal/core/l1"
+	"logscape/internal/core/l2"
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+	"logscape/internal/stats"
+)
+
+// Figures 1–4 are the paper's illustrative figures; eval regenerates their
+// underlying data from the simulation.
+
+// Figure1Result is the data of figure 1: logs per second for two
+// interacting applications over an interval.
+type Figure1Result struct {
+	AppA, AppB string
+	Range      logmodel.TimeRange
+	// SeriesA and SeriesB are per-second log counts.
+	SeriesA, SeriesB []int
+	// Correlation is the Pearson correlation of the two series — the
+	// "periods of high and low activity are correlated" observation.
+	Correlation float64
+}
+
+// bestWindow returns the sub-window of the given width in which the two
+// applications are jointly most active on the day (maximizing the smaller
+// of the two log counts).
+func (r *Runner) bestWindow(day int, appA, appB string, width logmodel.Millis) logmodel.TimeRange {
+	store := r.Stores[day]
+	dayRange := r.Sim.DayRange(day)
+	best := logmodel.TimeRange{Start: dayRange.Start, End: dayRange.Start + width}
+	bestScore := -1
+	for _, w := range dayRange.Split(width / 2) {
+		win := logmodel.TimeRange{Start: w.Start, End: w.Start + width}
+		if win.End > dayRange.End {
+			break
+		}
+		na, nb := 0, 0
+		for _, e := range store.Range(win) {
+			switch e.Source {
+			case appA:
+				na++
+			case appB:
+				nb++
+			}
+		}
+		score := na
+		if nb < na {
+			score = nb
+		}
+		if score > bestScore {
+			bestScore = score
+			best = win
+		}
+	}
+	return best
+}
+
+// Figure1 extracts the activity series of the flavor pair (DPIFormidoc,
+// DPIPublication) over the given range of a day. A zero window selects the
+// ten minutes in which the pair is jointly most active.
+func (r *Runner) Figure1(day int, window logmodel.TimeRange) Figure1Result {
+	if window == (logmodel.TimeRange{}) {
+		window = r.bestWindow(day, "DPIFormidoc", "DPIPublication", 10*logmodel.MillisPerMinute)
+	}
+	store := r.Stores[day]
+	res := Figure1Result{
+		AppA:    "DPIFormidoc",
+		AppB:    "DPIPublication",
+		Range:   window,
+		SeriesA: store.ActivitySeries("DPIFormidoc", window, logmodel.MillisPerSecond),
+		SeriesB: store.ActivitySeries("DPIPublication", window, logmodel.MillisPerSecond),
+	}
+	a := make([]float64, len(res.SeriesA))
+	b := make([]float64, len(res.SeriesB))
+	for i := range a {
+		a[i] = float64(res.SeriesA[i])
+		b[i] = float64(res.SeriesB[i])
+	}
+	res.Correlation = stats.Correlation(a, b)
+	return res
+}
+
+// Figure2Result is the data of figure 2: for both orderings of the pair,
+// the boxplot five-number summaries of the random sample S_r and the
+// candidate sample S_b, with 95% and 99% median confidence intervals.
+type Figure2Result struct {
+	AppA, AppB string
+	Slot       logmodel.TimeRange
+	// Directions holds the two orderings: index 0 has AppA in the
+	// reference role (distances measured to AppA's logs), index 1 the
+	// reverse.
+	Directions [2]Figure2Direction
+}
+
+// Figure2Direction is one of the two plots of figure 2.
+type Figure2Direction struct {
+	// Reference and Candidate name the role assignment.
+	Reference, Candidate string
+	// RandomBox and CandidateBox are the boxplot summaries.
+	RandomBox, CandidateBox stats.FiveNum
+	// RandomCI95/99 and CandidateCI95/99 are the median CIs at both
+	// levels drawn in the figure.
+	RandomCI95, RandomCI99, CandidateCI95, CandidateCI99 stats.CI
+	// Positive reports whether the 95% candidate interval lies below the
+	// random one (the dependence conclusion).
+	Positive bool
+}
+
+// Figure2 reproduces figure 2 for the flavor pair: like the paper, it
+// illustrates the per-slot test on an hour where the interaction is clearly
+// visible. It scans the day's hours in order of joint activity and returns
+// the first whose test is positive in both directions, falling back to the
+// busiest hour.
+func (r *Runner) Figure2(day int) Figure2Result {
+	const appA, appB = "DPIPublication", "DPIFormidoc"
+	store := r.Stores[day]
+	hours := r.Sim.DayRange(day).Hours()
+	// Order hours by the joint activity of the pair, descending.
+	score := func(hr logmodel.TimeRange) int {
+		na, nb := 0, 0
+		for _, e := range store.Range(hr) {
+			switch e.Source {
+			case appA:
+				na++
+			case appB:
+				nb++
+			}
+		}
+		if nb < na {
+			return nb
+		}
+		return na
+	}
+	sort.SliceStable(hours, func(i, j int) bool { return score(hours[i]) > score(hours[j]) })
+
+	var fallback Figure2Result
+	for i, slot := range hours {
+		res := r.figure2Slot(appA, appB, store, slot)
+		if i == 0 {
+			fallback = res
+		}
+		if res.Directions[0].Positive && res.Directions[1].Positive {
+			return res
+		}
+	}
+	return fallback
+}
+
+// figure2Slot runs the figure-2 analysis for one slot.
+func (r *Runner) figure2Slot(appA, appB string, store *logmodel.Store, slot logmodel.TimeRange) Figure2Result {
+	res := Figure2Result{AppA: appA, AppB: appB, Slot: slot}
+	idx := store.SourceIndexRange(slot)
+	rng := rand.New(rand.NewSource(r.Opts.Seed ^ 0xf2))
+	cfg := r.Opts.L1
+	assign := [2][2]string{{appA, appB}, {appB, appA}}
+	for i, pair := range assign {
+		ref, cand := pair[0], pair[1]
+		d := l1.DirectionTest(rng, idx[ref], idx[cand], slot, cfg)
+		fd := Figure2Direction{Reference: ref, Candidate: cand}
+		if len(d.RandomSample) > 0 {
+			fd.RandomBox = stats.Summary(d.RandomSample)
+		}
+		if len(d.CandidateSample) > 0 {
+			fd.CandidateBox = stats.Summary(d.CandidateSample)
+		}
+		if d.Valid {
+			fd.RandomCI95, fd.CandidateCI95 = d.RandomCI, d.CandidateCI
+			fd.Positive = d.Positive
+			if ci, err := stats.MedianCI(d.RandomSample, 0.99); err == nil {
+				fd.RandomCI99 = ci
+			}
+			if ci, err := stats.MedianCI(d.CandidateSample, 0.99); err == nil {
+				fd.CandidateCI99 = ci
+			}
+		}
+		res.Directions[i] = fd
+	}
+	return res
+}
+
+// Figure3Result is the data of figure 3: an excerpt of a reconstructed user
+// session as (source, time) activity statements.
+type Figure3Result struct {
+	User string
+	// Events are the first entries of the chosen session.
+	Events []sessions.SourceEvent
+	// Sources are the distinct sources of the excerpt in first-appearance
+	// order.
+	Sources []string
+}
+
+// Figure3 picks a session with at least minSources sources on the given
+// day and returns its first maxEvents activity statements.
+func (r *Runner) Figure3(day, minSources, maxEvents int) Figure3Result {
+	if minSources == 0 {
+		minSources = 4
+	}
+	if maxEvents == 0 {
+		maxEvents = 12
+	}
+	ss := r.sessionsCached(day)
+	for i := range ss {
+		seq := ss[i].SourceSequence()
+		if len(seq) > maxEvents {
+			seq = seq[:maxEvents]
+		}
+		// The excerpt itself (not just the whole session) must span enough
+		// sources to illustrate a call tree.
+		var order []string
+		seen := map[string]bool{}
+		for _, ev := range seq {
+			if !seen[ev.Source] {
+				seen[ev.Source] = true
+				order = append(order, ev.Source)
+			}
+		}
+		if len(order) < minSources {
+			continue
+		}
+		return Figure3Result{User: ss[i].User, Events: seq, Sources: order}
+	}
+	return Figure3Result{}
+}
+
+// Figure4Result is the contingency table of the running example (figure 4),
+// regenerated through the l2 machinery rather than hard-coded.
+type Figure4Result struct {
+	Type  l2.Bigram
+	Table stats.ContingencyTable
+	Test  stats.AssociationTest
+}
+
+// Figure4 rebuilds the §3.2 running example (the session of figure 3) and
+// returns the contingency table for bigram type (A2, A3).
+func Figure4() Figure4Result {
+	mk := func(t logmodel.Millis, src string) logmodel.Entry {
+		return logmodel.Entry{Time: t, Source: src, User: "u", Severity: logmodel.SevInfo}
+	}
+	s := sessions.Session{User: "u", Entries: []logmodel.Entry{
+		mk(0, "A2"), mk(100, "A1"), mk(200, "A2"), mk(300, "A3"),
+		mk(400, "A4"), mk(500, "A2"), mk(600, "A3"), mk(700, "A4"),
+		mk(1200, "A2"),
+	}}
+	counts := l2.CountBigrams([]sessions.Session{s}, l2.NoTimeout)
+	tab := counts.Table(l2.Bigram{First: "A2", Second: "A3"})
+	return Figure4Result{
+		Type:  l2.Bigram{First: "A2", Second: "A3"},
+		Table: tab,
+		Test:  stats.TestAssociation(tab),
+	}
+}

@@ -1,0 +1,265 @@
+package eval
+
+import (
+	"math/rand"
+
+	"logscape/internal/core"
+	"logscape/internal/core/l1"
+	"logscape/internal/core/l2"
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+	"logscape/internal/stats"
+)
+
+// Figure 9 — influence of the system's load (§4.9).
+//
+// For each hour of the week, approach L3 identifies the dependency
+// relationships actually realized in that hour (the dynamic ground truth);
+// p1 and p2 are the fractions of those relationships that approaches L1 and
+// L2 rediscover in the same hour. Regressing p1 and p2 on the hourly log
+// count reproduces the paper's finding: the slope confidence interval is
+// strictly negative for L1 and contains zero for L2.
+
+// HourPoint is one hour's observation.
+type HourPoint struct {
+	Day  int
+	Hour int
+	// Logs is the hour's log count (the load measure).
+	Logs int
+	// Realized is the number of L3-realized application pairs in the hour.
+	Realized int
+	// P1 and P2 are the rediscovery fractions of L1 and L2.
+	P1, P2 float64
+	// FP1 and FP2 are the false-positive fractions among positives.
+	FP1, FP2 float64
+}
+
+// Figure9Result is the §4.9 load study.
+type Figure9Result struct {
+	Points []HourPoint
+	// P1Regression and P2Regression regress p1 and p2 on the rescaled load
+	// (log count divided by its maximum, as in the paper's left plot).
+	P1Regression, P2Regression stats.Regression
+	// P1SlopeCI and P2SlopeCI are the 95% confidence intervals for the
+	// linear factors ([−0.284, −0.215] and [−0.025, 0.002] in the paper).
+	P1SlopeCI, P2SlopeCI stats.CI
+	// FP1SlopeCI and FP2SlopeCI regress the false-positive fractions on
+	// load (the paper: both contain zero).
+	FP1SlopeCI, FP2SlopeCI stats.CI
+	// P1QQCorr and P2QQCorr are the normal-QQ correlations of the
+	// residuals (the paper verifies the model "by the means of normal
+	// qqplots for the residuals").
+	P1QQCorr, P2QQCorr float64
+	// ExcludedApps are the applications removed from the L3 ground truth
+	// because they do not log all of their invocations (§4.9 removes 4).
+	ExcludedApps []string
+}
+
+// Figure9 runs the load study over every hour of the simulated week.
+// MinRealized is the minimum number of realized pairs for an hour to be
+// used (hours with nearly no activity yield meaningless fractions);
+// 5 is used when 0 is passed.
+func (r *Runner) Figure9(minRealized int) Figure9Result {
+	if minRealized == 0 {
+		minRealized = 5
+	}
+	var res Figure9Result
+
+	// Exclude applications with unlogged invocations from the ground
+	// truth, as the paper does ("We eliminate 4 applications which do not
+	// log all of their invocations to increase reliability of the output
+	// of L3").
+	excluded := make(map[string]bool)
+	for _, p := range r.Topo.Phenomena.UnloggedEdges {
+		if !excluded[p.App] {
+			excluded[p.App] = true
+			res.ExcludedApps = append(res.ExcludedApps, p.App)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(r.Opts.Seed ^ 0xf19))
+	l1cfg := r.Opts.L1
+	for day := range r.Stores {
+		store := r.Stores[day]
+		for h, hr := range r.Sim.DayRange(day).Hours() {
+			logs := store.CountRange(hr)
+			// Hourly L3 ground truth: realized dependencies, as app pairs.
+			deps := r.hourL3(store, hr)
+			pairs := make(core.PairSet)
+			for p := range deps {
+				if excluded[p.App] || !r.TrueDeps[p] {
+					continue
+				}
+				owner := r.Owner[p.Group]
+				if owner == p.App || excluded[owner] {
+					continue
+				}
+				pairs[core.MakePair(p.App, owner)] = true
+			}
+			if len(pairs) < minRealized {
+				continue
+			}
+			idx := store.SourceIndexRange(hr)
+
+			// L1 on the single hour: one slot test per realized pair. The
+			// denominator is restricted to pairs that are *testable* in the
+			// hour (both applications reach minlogs, the paper's support
+			// notion): at 1/100 of HUG's volume, quiet hours would
+			// otherwise measure data starvation rather than the
+			// parallelism interference the experiment is about.
+			eligible1 := make([]core.Pair, 0, len(pairs))
+			for p := range pairs {
+				if len(idx[p.A]) >= l1cfg.MinLogs && len(idx[p.B]) >= l1cfg.MinLogs {
+					eligible1 = append(eligible1, p)
+				}
+			}
+			found1, fp1, testedFP1 := 0, 0, 0
+			for _, p := range eligible1 {
+				if l1.SlotTest(rng, idx[p.A], idx[p.B], hr, l1cfg) {
+					found1++
+				}
+			}
+			// L1 false-positive fraction on a sample of unrelated,
+			// equally-eligible pairs.
+			for _, q := range r.sampleUnrelatedPairs(rng, 30) {
+				if len(idx[q.A]) < l1cfg.MinLogs || len(idx[q.B]) < l1cfg.MinLogs {
+					continue
+				}
+				testedFP1++
+				if l1.SlotTest(rng, idx[q.A], idx[q.B], hr, l1cfg) {
+					fp1++
+				}
+			}
+
+			// L2 on the hour's sessions, over realized pairs whose logs
+			// actually co-occur in those sessions (at least MinJoint
+			// adjacent occurrences regardless of timeout) — the analogue
+			// of the minlogs support restriction for L1 above.
+			hourSessions := clipSessions(r.sessionsCached(day), hr)
+			allCounts := l2.CountBigrams(hourSessions, l2.NoTimeout)
+			minJoint := r.Opts.L2.MinJoint
+			if minJoint == 0 {
+				minJoint = 3
+			}
+			eligible2 := make([]core.Pair, 0, len(pairs))
+			for p := range pairs {
+				joint := allCounts.Joint[l2.Bigram{First: p.A, Second: p.B}] +
+					allCounts.Joint[l2.Bigram{First: p.B, Second: p.A}]
+				if joint >= minJoint {
+					eligible2 = append(eligible2, p)
+				}
+			}
+			l2res := l2.Mine(hourSessions, r.Opts.L2)
+			dep2 := l2res.DependentPairs()
+			found2, fp2 := 0, 0
+			for _, p := range eligible2 {
+				if dep2[p] {
+					found2++
+				}
+			}
+			for p := range dep2 {
+				if !r.TruePairs[p] {
+					fp2++
+				}
+			}
+			if len(eligible1) < minRealized || len(eligible2) < minRealized {
+				continue
+			}
+			pt := HourPoint{
+				Day: day, Hour: h, Logs: logs, Realized: len(pairs),
+				P1: float64(found1) / float64(len(eligible1)),
+				P2: float64(found2) / float64(len(eligible2)),
+			}
+			if tot := found1 + fp1; testedFP1 > 0 && tot > 0 {
+				pt.FP1 = float64(fp1) / float64(tot)
+			}
+			if n := len(dep2); n > 0 {
+				pt.FP2 = float64(fp2) / float64(n)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+
+	// Regressions on rescaled load.
+	maxLogs := 0.0
+	for _, p := range res.Points {
+		if float64(p.Logs) > maxLogs {
+			maxLogs = float64(p.Logs)
+		}
+	}
+	if maxLogs == 0 || len(res.Points) < 3 {
+		return res
+	}
+	x := make([]float64, len(res.Points))
+	y1 := make([]float64, len(res.Points))
+	y2 := make([]float64, len(res.Points))
+	f1 := make([]float64, len(res.Points))
+	f2 := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		x[i] = float64(p.Logs) / maxLogs
+		y1[i], y2[i] = p.P1, p.P2
+		f1[i], f2[i] = p.FP1, p.FP2
+	}
+	if reg, err := stats.LinearRegression(x, y1); err == nil {
+		res.P1Regression = reg
+		res.P1SlopeCI = reg.SlopeCI(0.95)
+		res.P1QQCorr = stats.QQCorrelation(reg.Residuals)
+	}
+	if reg, err := stats.LinearRegression(x, y2); err == nil {
+		res.P2Regression = reg
+		res.P2SlopeCI = reg.SlopeCI(0.95)
+		res.P2QQCorr = stats.QQCorrelation(reg.Residuals)
+	}
+	if reg, err := stats.LinearRegression(x, f1); err == nil {
+		res.FP1SlopeCI = reg.SlopeCI(0.95)
+	}
+	if reg, err := stats.LinearRegression(x, f2); err == nil {
+		res.FP2SlopeCI = reg.SlopeCI(0.95)
+	}
+	return res
+}
+
+// hourL3 mines L3 on one hour of a store.
+func (r *Runner) hourL3(store *logmodel.Store, hr logmodel.TimeRange) core.AppServiceSet {
+	return r.l3MinerShared().Mine(store, hr).Dependencies()
+}
+
+// sampleUnrelatedPairs draws up to n application pairs outside the
+// reference model.
+func (r *Runner) sampleUnrelatedPairs(rng *rand.Rand, n int) []core.Pair {
+	apps := r.AppNames()
+	out := make([]core.Pair, 0, n)
+	for tries := 0; len(out) < n && tries < 20*n; tries++ {
+		a := apps[rng.Intn(len(apps))]
+		b := apps[rng.Intn(len(apps))]
+		if a == b {
+			continue
+		}
+		p := core.MakePair(a, b)
+		if r.TruePairs[p] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// clipSessions restricts sessions to entries inside the range, keeping
+// fragments with at least two entries.
+func clipSessions(ss []sessions.Session, hr logmodel.TimeRange) []sessions.Session {
+	var out []sessions.Session
+	for i := range ss {
+		es := ss[i].Entries
+		lo, hi := 0, len(es)
+		for lo < hi && es[lo].Time < hr.Start {
+			lo++
+		}
+		for hi > lo && es[hi-1].Time >= hr.End {
+			hi--
+		}
+		if hi-lo >= 2 {
+			out = append(out, sessions.Session{User: ss[i].User, Entries: es[lo:hi]})
+		}
+	}
+	return out
+}

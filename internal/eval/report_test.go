@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReportFast(t *testing.T) {
+	r := testRunner(t)
+	var b strings.Builder
+	if err := r.WriteReport(&b, ReportOptions{SkipSlow: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# logscape evaluation report",
+		"Table 1", "Figure 4", "Figure 6", "Table 2", "Figure 8",
+		"median TP-ratio CI",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Figure 5") || strings.Contains(out, "Ablations") {
+		t.Error("SkipSlow did not skip the slow sections")
+	}
+}
+
+func TestWriteReportPropagatesErrors(t *testing.T) {
+	r := testRunner(t)
+	w := &failingWriter{failAfter: 100}
+	if err := r.WriteReport(w, ReportOptions{SkipSlow: true}); err == nil {
+		t.Error("write error not propagated")
+	}
+}
+
+type failingWriter struct {
+	n         int
+	failAfter int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > f.failAfter {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = errFailType{}
+
+type errFailType struct{}
+
+func (errFailType) Error() string { return "synthetic write failure" }

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SessionSummaryRow is one day of session-creation statistics.
+type SessionSummaryRow struct {
+	Day      int
+	Date     time.Time
+	Weekend  bool
+	Sessions int
+	// AssignedShare is the fraction of the day's logs assigned to a
+	// session.
+	AssignedShare float64
+	// MeanLength is the mean number of logs per kept session.
+	MeanLength float64
+}
+
+// SessionSummaryResult reproduces the §4.6 session statistics: "The
+// session creation algorithm produced about 4000 sessions for week days
+// and about 1000 on Saturday or Sunday. The percentage of logs that can be
+// assigned to a session varied between 7.5 and 11% on the different days."
+type SessionSummaryResult struct {
+	Rows []SessionSummaryRow
+}
+
+// SessionSummary computes the per-day session statistics of the week.
+func (r *Runner) SessionSummary() SessionSummaryResult {
+	var res SessionSummaryResult
+	for d := range r.Stores {
+		ss, stats := r.SessionsOfDay(d)
+		row := SessionSummaryRow{
+			Day: d, Date: r.Stats[d].Date, Weekend: r.Stats[d].Weekend,
+			Sessions:      stats.Sessions,
+			AssignedShare: stats.AssignedShare(),
+		}
+		if len(ss) > 0 {
+			total := 0
+			for i := range ss {
+				total += ss[i].Len()
+			}
+			row.MeanLength = float64(total) / float64(len(ss))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders the summary.
+func (s SessionSummaryResult) String() string {
+	var b strings.Builder
+	b.WriteString("Session creation per day (§4.6)\n")
+	b.WriteString("day  date        sessions  assigned  mean-len\n")
+	for _, r := range s.Rows {
+		we := " "
+		if r.Weekend {
+			we = "w"
+		}
+		fmt.Fprintf(&b, "%-4d %s%s %-9d %6.1f%%   %.1f\n",
+			r.Day, r.Date.Format("2006-01-02"), we, r.Sessions,
+			100*r.AssignedShare, r.MeanLength)
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package hospital
+
+// Name pools for the simulated HUG environment. The names are flavor only,
+// but their *structure* matters to the experiments: seven service-group ids
+// are legacy project codenames that collide with patient surnames
+// (reproducing the "a patient having the same name as a given service id"
+// coincidence false positives of §4.8), and three services exist in an old
+// and a new version (UPSRV/UPSRV2 style) to reproduce the wrong-name false
+// negatives.
+
+// guiAppNames are the interactive client applications that drive user
+// sessions.
+var guiAppNames = []string{
+	"DPIMain",
+	"DPIFormidoc",
+	"DPIOrders",
+	"DPIAgenda",
+	"DPIViewer",
+	"AdmissionDesk",
+	"BillingStation",
+	"WardBoard",
+	"PharmaDesk",
+	"TriageConsole",
+}
+
+// serviceAppNames are middle-tier and backend applications; most own one or
+// two service-directory groups.
+var serviceAppNames = []string{
+	"DPIPublication",
+	"DPINotification",
+	"LaboResults",
+	"LaboOrders",
+	"RadiologyRIS",
+	"RadioImages",
+	"PatientIndex",
+	"PatientAdmin",
+	"DocumentStore",
+	"FormEngine",
+	"OrderRouter",
+	"PharmaStock",
+	"PharmaInteraction",
+	"VitalSignsHub",
+	"ICUStream",
+	"EpisodeManager",
+	"CareplanService",
+	"TerminologyServer",
+	"UserProvisioning",
+	"AccessControl",
+	"AuditTrail",
+	"BillingEngine",
+	"TariffService",
+	"InsuranceGateway",
+	"HL7Broker",
+	"DicomBridge",
+	"ReportGenerator",
+	"StatisticsService",
+	"AppointmentBook",
+	"ResourcePlanner",
+	"TransportDispatch",
+	"KitchenOrders",
+	"SterileSupply",
+	"BloodBank",
+	"PathologyLab",
+	"MicrobiologyLab",
+	"GeneticsLab",
+	"ArchiveService",
+	"ConsentRegistry",
+	"AlertEngine",
+}
+
+// weekdayOnlyGUI marks interactive applications whose desks are closed on
+// weekends; their dependencies are not exercised on Saturday and Sunday.
+var weekdayOnlyGUI = map[string]bool{
+	"AdmissionDesk":  true,
+	"BillingStation": true,
+}
+
+// batchAppNames are autonomous system applications: they log but own no
+// directory entries and drive no sessions.
+var batchAppNames = []string{
+	"NightlyArchiver",
+	"HL7Gateway",
+	"BackupAgent",
+	"StatsCollector",
+}
+
+// legacyGroupIDs are the seven service-group ids that double as patient
+// surnames (legacy project codenames). Their owners are assigned during
+// topology generation.
+var legacyGroupIDs = []string{
+	"MARTIN", "FAVRE", "ROCHAT", "BONNET", "MERCIER", "GIRARD", "MOREL",
+}
+
+// versionedGroupBases are the three services that exist in an old and a new
+// version; the old id is <base>, the new one <base>2. Three caller
+// applications log the old id while actually invoking the new version
+// (§4.8: "the service directory id UPSRV is used instead of the newer
+// version of the same service UPSRV2").
+var versionedGroupBases = []string{"UPSRV", "LABQRY", "IMGSTORE"}
+
+// patientSurnames is the surname pool for simulated clinical free text. It
+// deliberately contains the legacy group ids.
+var patientSurnames = []string{
+	"ABATE", "AEBY", "BAUMANN", "BERGER", "BIANCHI", "BLANC", "BRUNNER",
+	"CATTANEO", "CHEVALLEY", "CONTI", "CORTHAY", "DA-SILVA", "DELACROIX",
+	"DUBOIS", "DUPONT", "DURAND", "EGGER", "FERREIRA", "FONTANA",
+	"GARCIA", "GAUTHIER", "GONZALEZ", "GRECO", "GUEX", "HOFER", "HUBER",
+	"JACCARD", "JOYE", "KELLER", "KOVACS", "KUNZ", "LAMBERT", "LEROY",
+	"LOPEZ", "LUTHI", "MAILLARD", "MARQUES", "MEIER", "MEYER", "MONNEY",
+	"MONNIER", "MULLER", "NGUYEN", "OLIVEIRA", "PEREIRA", "PERRET",
+	"PITTET", "RAMEL", "RIBEIRO", "RICHARD", "RODRIGUES", "ROSSI",
+	"ROUX", "SANTOS", "SCHMID", "SCHNEIDER", "SILVA", "STEINER",
+	"TANNER", "THORENS", "VAUCHER", "VOGEL", "WEBER", "WYSS", "ZBINDEN",
+	// Legacy codename collisions:
+	"MARTIN", "FAVRE", "ROCHAT", "BONNET", "MERCIER", "GIRARD", "MOREL",
+}
+
+// firstNames is the given-name pool for simulated clinical free text.
+var firstNames = []string{
+	"Jean", "Marie", "Pierre", "Anne", "Luc", "Claire", "Paul", "Eva",
+	"Marc", "Julie", "Nicolas", "Sophie", "David", "Laura", "Thomas",
+	"Nina", "Hugo", "Emma", "Louis", "Alice", "Noah", "Lea", "Gabriel",
+	"Chloe", "Arthur", "Zoe", "Nathan", "Ines", "Samuel", "Jade",
+}
+
+// serviceVerbs is the pool from which service function names are composed.
+var serviceVerbs = []string{
+	"get", "put", "list", "find", "notify", "publish", "subscribe",
+	"validate", "create", "update", "archive", "merge", "lock", "release",
+	"query", "submit",
+}
+
+// serviceNouns is the noun pool for service function names.
+var serviceNouns = []string{
+	"Record", "Document", "Order", "Result", "Patient", "Episode",
+	"Report", "Image", "Appointment", "Alert", "Form", "Consent",
+	"Stock", "Tariff", "Message", "Plan",
+}
+
+// noiseMessages are background log messages with no service citations.
+var noiseMessages = []string{
+	"heartbeat ok",
+	"cache refresh completed",
+	"connection pool status: idle=%d active=%d",
+	"queue depth %d",
+	"gc cycle finished in %d ms",
+	"configuration reloaded",
+	"scheduled job completed in %d ms",
+	"watchdog ping",
+	"session cache evicted %d entries",
+	"license check ok",
+	"replication lag %d ms",
+	"index compaction finished",
+}

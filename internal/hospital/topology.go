@@ -1,0 +1,806 @@
+// Package hospital simulates the Geneva University Hospitals environment of
+// the paper: a topology of interactive applications, middle-tier services
+// and a service directory with a known ground-truth dependency graph, and a
+// workload generator that emits a realistic centralized log stream — user
+// sessions with synchronous and asynchronous call trees, background noise,
+// per-host clock skew, and every free-text phenomenon the paper's §4.8
+// error analysis attributes results to (server-side echo logs, exception
+// stack traces, patient-name/service-id coincidences, wrong and similar
+// directory ids, unlogged invocations, rarely-used services).
+//
+// The simulator replaces the 56.8 million proprietary production log
+// entries of the case study; its ground-truth topology plays the role of
+// the expert-built reference model.
+package hospital
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"logscape/internal/core"
+	"logscape/internal/directory"
+)
+
+// AppKind classifies an application.
+type AppKind int
+
+// Application kinds.
+const (
+	// KindGUI is an interactive client application that drives user
+	// sessions.
+	KindGUI AppKind = iota
+	// KindService is a middle-tier or backend application; it typically
+	// owns one or two service-directory groups.
+	KindService
+	// KindBatch is an autonomous system application: it logs background
+	// activity but owns no directory entries and drives no sessions.
+	KindBatch
+)
+
+// String returns a short name of the kind.
+func (k AppKind) String() string {
+	switch k {
+	case KindGUI:
+		return "gui"
+	case KindService:
+		return "service"
+	case KindBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// App is one application (log source) of the simulated environment.
+type App struct {
+	// Name is the log-source identifier.
+	Name string
+	// Kind classifies the application.
+	Kind AppKind
+	// Host is the server host the application logs from. GUI applications
+	// log from the client machine of the active session instead.
+	Host string
+	// UnixHost reports whether Host is NTP-synchronized (<1 ms skew); NT
+	// hosts are only domain-synchronized (up to ±1 s skew), per §4.2.
+	UnixHost bool
+	// InvokeStyle indexes the developer's invocation-log format.
+	InvokeStyle int
+	// ServingStyle indexes the format of server-side logs that cite the
+	// served group id, or -1 when the application's serving logs carry no
+	// citation. Formats 0..9 are covered by the canonical stop patterns;
+	// formats 10 and 11 are not (the two surviving inverted dependencies
+	// of §4.8).
+	ServingStyle int
+	// LogsUserProb is the probability that a serving log carries the user
+	// id of the session it serves (making it session-assignable).
+	LogsUserProb float64
+	// BackgroundWeight is the application's relative share of the
+	// background (non-session) log volume.
+	BackgroundWeight float64
+}
+
+// ServiceGroup is one entry of the simulated service directory.
+type ServiceGroup struct {
+	// ID is the directory identifier.
+	ID string
+	// Owner is the name of the application implementing the group.
+	Owner string
+	// RootURL is the group's root URL.
+	RootURL string
+	// Services are the exposed function names.
+	Services []string
+}
+
+// Edge is one ground-truth dependency: Caller invokes the services of
+// Group.
+type Edge struct {
+	// Caller is the name of the invoking application.
+	Caller string
+	// Group is the id of the invoked service group.
+	Group string
+	// Weight is the relative invocation frequency of this edge within its
+	// caller.
+	Weight float64
+	// Async marks asynchronous (notification-style) invocations: the
+	// callee's activity follows the caller's after a second-scale delay,
+	// and the caller does not wait.
+	Async bool
+	// Logged reports whether the caller logs its invocations at all; seven
+	// edges are unlogged (§4.8 false-negative analysis).
+	Logged bool
+	// WrongID, when non-empty, is the (existing, older) directory id the
+	// caller erroneously cites instead of Group; three edges carry it.
+	WrongID string
+	// Rare marks edges "used extremely seldom": they are never realized in
+	// the simulated week (six edges; the paper reclassifies them as true
+	// negatives).
+	Rare bool
+	// StackTraceCite, when non-empty, is the id of a group the callee
+	// depends on; failed invocations make the caller log an exception
+	// trace citing it (five edges; the transitive false positives of
+	// §4.8).
+	StackTraceCite string
+}
+
+// Pair is an unordered application pair (core.Pair), with A < B.
+type Pair = core.Pair
+
+// MakePair returns the normalized unordered pair of a and b.
+func MakePair(a, b string) Pair { return core.MakePair(a, b) }
+
+// AppServicePair is a directed application → service-group dependency
+// (core.AppServicePair).
+type AppServicePair = core.AppServicePair
+
+// Phenomena records the deliberately injected error phenomena so the
+// evaluation can report the §4.8 taxonomy against ground truth.
+type Phenomena struct {
+	// RareEdges are the ground-truth dependencies never realized in the
+	// test week.
+	RareEdges []AppServicePair
+	// UnloggedEdges are realized but never logged by the caller.
+	UnloggedEdges []AppServicePair
+	// WrongNameEdges are logged under WrongID; the map value is the id
+	// actually cited.
+	WrongNameEdges map[AppServicePair]string
+	// SimilarIDPairs are the (app, group) citations caused by erroneous
+	// similar ids — both the WrongName citations and the two spontaneous
+	// ones.
+	SimilarIDPairs []AppServicePair
+	// CoincidencePairs are the (app, group) citations caused by patient
+	// names colliding with legacy group ids.
+	CoincidencePairs []AppServicePair
+	// StackTracePairs are the (caller, citedGroup) transitive citations
+	// from exception traces.
+	StackTracePairs []AppServicePair
+	// InvertedApps are the service applications whose self-citing serving
+	// logs are NOT covered by the canonical stop patterns (two apps).
+	InvertedApps []string
+	// StoppableApps are the service applications whose self-citing serving
+	// logs ARE covered by the canonical stop patterns.
+	StoppableApps []string
+}
+
+// Topology is the simulated environment: applications, service groups, and
+// the ground-truth dependency edges.
+type Topology struct {
+	Apps   []App
+	Groups []ServiceGroup
+	Edges  []Edge
+	// Phenomena describes the injected §4.8 error phenomena.
+	Phenomena Phenomena
+
+	appByName   map[string]*App
+	groupByID   map[string]*ServiceGroup
+	edgesByApp  map[string][]*Edge
+	ownerGroups map[string][]*ServiceGroup
+}
+
+// reindex rebuilds the lookup maps.
+func (t *Topology) reindex() {
+	t.appByName = make(map[string]*App, len(t.Apps))
+	for i := range t.Apps {
+		t.appByName[t.Apps[i].Name] = &t.Apps[i]
+	}
+	t.groupByID = make(map[string]*ServiceGroup, len(t.Groups))
+	t.ownerGroups = make(map[string][]*ServiceGroup)
+	for i := range t.Groups {
+		g := &t.Groups[i]
+		t.groupByID[g.ID] = g
+		t.ownerGroups[g.Owner] = append(t.ownerGroups[g.Owner], g)
+	}
+	t.edgesByApp = make(map[string][]*Edge)
+	for i := range t.Edges {
+		e := &t.Edges[i]
+		t.edgesByApp[e.Caller] = append(t.edgesByApp[e.Caller], e)
+	}
+}
+
+// App returns the application with the given name, or nil.
+func (t *Topology) App(name string) *App { return t.appByName[name] }
+
+// Group returns the service group with the given id, or nil.
+func (t *Topology) Group(id string) *ServiceGroup { return t.groupByID[id] }
+
+// EdgesOf returns the outgoing dependency edges of the application.
+func (t *Topology) EdgesOf(app string) []*Edge { return t.edgesByApp[app] }
+
+// GroupsOwnedBy returns the groups implemented by the application.
+func (t *Topology) GroupsOwnedBy(app string) []*ServiceGroup { return t.ownerGroups[app] }
+
+// AppNames returns all application names in topology order.
+func (t *Topology) AppNames() []string {
+	out := make([]string, len(t.Apps))
+	for i := range t.Apps {
+		out[i] = t.Apps[i].Name
+	}
+	return out
+}
+
+// TrueAppServicePairs returns the reference model for approach L3: every
+// (application, service-group) dependency, including rare, unlogged and
+// wrongly-logged ones (they are real dependencies; whether a technique can
+// see them is what the evaluation measures).
+func (t *Topology) TrueAppServicePairs() map[AppServicePair]bool {
+	out := make(map[AppServicePair]bool, len(t.Edges))
+	for _, e := range t.Edges {
+		out[AppServicePair{App: e.Caller, Group: e.Group}] = true
+	}
+	return out
+}
+
+// TrueAppPairs returns the reference model for approaches L1 and L2: the
+// unordered application pairs that directly interact — every (caller,
+// owner-of-called-group) pair.
+func (t *Topology) TrueAppPairs() map[Pair]bool {
+	out := make(map[Pair]bool)
+	for _, e := range t.Edges {
+		g := t.groupByID[e.Group]
+		if g == nil || g.Owner == e.Caller {
+			continue
+		}
+		out[MakePair(e.Caller, g.Owner)] = true
+	}
+	return out
+}
+
+// Directory builds the service directory document for the topology.
+func (t *Topology) Directory() *directory.Directory {
+	d := &directory.Directory{Version: 1}
+	for _, g := range t.Groups {
+		dg := directory.Group{ID: g.ID, RootURL: g.RootURL}
+		dg.Replicas = []directory.Replica{{Host: "replica-" + strings.ToLower(g.Owner) + ".hug.local"}}
+		for _, s := range g.Services {
+			dg.Services = append(dg.Services, directory.Service{Name: s})
+		}
+		d.Groups = append(d.Groups, dg)
+	}
+	return d
+}
+
+// TopologyConfig controls topology generation. The zero value is replaced
+// by DefaultTopologyConfig.
+type TopologyConfig struct {
+	// GUIEdgesMin/Max bound the number of service groups each GUI
+	// application depends on.
+	GUIEdgesMin, GUIEdgesMax int
+	// TotalEdges is the exact number of ground-truth dependencies to
+	// generate (the paper's reference model has 177).
+	TotalEdges int
+	// AsyncFraction is the fraction of edges with asynchronous semantics.
+	AsyncFraction float64
+}
+
+// DefaultTopologyConfig mirrors the scale of the paper's reference model:
+// 54 applications, 47 service groups, 177 app→service dependencies.
+func DefaultTopologyConfig() TopologyConfig {
+	return TopologyConfig{
+		GUIEdgesMin:   10,
+		GUIEdgesMax:   15,
+		TotalEdges:    177,
+		AsyncFraction: 0.30,
+	}
+}
+
+// GenerateTopology builds a deterministic topology for the given seed.
+func GenerateTopology(cfg TopologyConfig, seed int64) *Topology {
+	if cfg.TotalEdges == 0 {
+		cfg = DefaultTopologyConfig()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &Topology{}
+
+	// --- Applications -----------------------------------------------------
+	for i, n := range guiAppNames {
+		t.Apps = append(t.Apps, App{
+			Name:         n,
+			Kind:         KindGUI,
+			Host:         fmt.Sprintf("client-pool-%02d", i),
+			UnixHost:     false,
+			InvokeStyle:  rng.Intn(numInvokeStyles),
+			ServingStyle: -1,
+			LogsUserProb: 1, // GUI logs always carry the user
+		})
+	}
+	for i, n := range serviceAppNames {
+		t.Apps = append(t.Apps, App{
+			Name:         n,
+			Kind:         KindService,
+			Host:         fmt.Sprintf("srv%02d.hug.local", i),
+			UnixHost:     i%5 != 4, // most service hosts are NTP-synced Unix
+			InvokeStyle:  rng.Intn(numInvokeStyles),
+			ServingStyle: -1, // assigned below
+			LogsUserProb: 0.06 + 0.1*rng.Float64(),
+		})
+	}
+	for i, n := range batchAppNames {
+		t.Apps = append(t.Apps, App{
+			Name:         n,
+			Kind:         KindBatch,
+			Host:         fmt.Sprintf("batch%02d.hug.local", i),
+			UnixHost:     true,
+			InvokeStyle:  rng.Intn(numInvokeStyles),
+			ServingStyle: -1,
+			LogsUserProb: 0,
+		})
+	}
+
+	// Background volume shares. The bulk of the autonomous noise lives on
+	// the batch applications (archivers, gateways, collectors); service
+	// applications log mostly in reaction to requests, so their streams
+	// stay interaction-dominated — the regime in which the paper's L1
+	// technique can separate dependent pairs from random activity.
+	for i := range t.Apps {
+		a := &t.Apps[i]
+		base := 0.3 + rng.Float64()
+		switch a.Kind {
+		case KindGUI:
+			a.BackgroundWeight = 0.01 * base // GUI apps log almost only in sessions
+		case KindService:
+			a.BackgroundWeight = 0.25 * base * base // light, heavy-tailed
+		case KindBatch:
+			a.BackgroundWeight = 10 * base
+		}
+	}
+
+	// --- Service groups ---------------------------------------------------
+	// 37 service apps own one group; 7 of these groups carry legacy
+	// codename ids. 3 apps own an old+new versioned pair; 4 apps own a
+	// primary + secondary group. 37 + 6 + 8 − 4 = 47 groups.
+	serviceApps := make([]string, len(serviceAppNames))
+	copy(serviceApps, serviceAppNames)
+	mkGroup := func(id, owner string) ServiceGroup {
+		nsvc := 2 + rng.Intn(3)
+		svcs := make([]string, 0, nsvc)
+		seen := map[string]bool{}
+		for len(svcs) < nsvc {
+			name := serviceVerbs[rng.Intn(len(serviceVerbs))] + serviceNouns[rng.Intn(len(serviceNouns))]
+			if !seen[name] {
+				seen[name] = true
+				svcs = append(svcs, name)
+			}
+		}
+		sort.Strings(svcs)
+		return ServiceGroup{
+			ID:       id,
+			Owner:    owner,
+			RootURL:  fmt.Sprintf("http://%s.hug.local:8%03d/%s", strings.ToLower(owner), rng.Intn(1000), strings.ToLower(id)),
+			Services: svcs,
+		}
+	}
+	// The first 26 service apps own one group named after them (so flagship
+	// names like DPIPUBLICATION exist as directory entries).
+	for _, owner := range serviceApps[:26] {
+		t.Groups = append(t.Groups, mkGroup(strings.ToUpper(owner), owner))
+	}
+	// Four apps own a primary + secondary group.
+	for i := 26; i < 30; i++ {
+		owner := serviceApps[i]
+		t.Groups = append(t.Groups, mkGroup(strings.ToUpper(owner), owner))
+		t.Groups = append(t.Groups, mkGroup(strings.ToUpper(owner)+"ARCHIVE", owner))
+	}
+	// Seven apps own a legacy-codename group (project codenames that double
+	// as patient surnames).
+	for i, id := range legacyGroupIDs {
+		t.Groups = append(t.Groups, mkGroup(id, serviceApps[30+i]))
+	}
+	// Three apps own an old+new versioned pair (UPSRV/UPSRV2 style).
+	for i, base := range versionedGroupBases {
+		owner := serviceApps[37+i]
+		t.Groups = append(t.Groups, mkGroup(base, owner))
+		t.Groups = append(t.Groups, mkGroup(base+"2", owner))
+	}
+
+	t.reindex()
+
+	// --- Edges ------------------------------------------------------------
+	// Popularity weights over groups (heavy-tailed): popular infrastructure
+	// groups are used by many applications.
+	popularity := make(map[string]float64, len(t.Groups))
+	for _, g := range t.Groups {
+		w := rng.Float64()
+		popularity[g.ID] = w * w * w
+	}
+	// Old-version groups are unpopular: their remaining users are legacy.
+	for _, base := range versionedGroupBases {
+		popularity[base] *= 0.05
+	}
+
+	pickGroup := func(exclude func(string) bool) string {
+		var total float64
+		for id, w := range popularity {
+			if !exclude(id) {
+				total += w
+			}
+		}
+		if total == 0 {
+			return ""
+		}
+		x := rng.Float64() * total
+		ids := make([]string, 0, len(popularity))
+		for id := range popularity {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids) // deterministic iteration
+		for _, id := range ids {
+			if exclude(id) {
+				continue
+			}
+			x -= popularity[id]
+			if x <= 0 {
+				return id
+			}
+		}
+		return ""
+	}
+
+	edgeSet := make(map[AppServicePair]bool)
+	addEdge := func(caller, group string) bool {
+		g := t.groupByID[group]
+		if g == nil {
+			return false
+		}
+		p := AppServicePair{App: caller, Group: group}
+		if edgeSet[p] || caller == g.Owner {
+			return false
+		}
+		edgeSet[p] = true
+		w := 0.2 + rng.ExpFloat64()
+		t.Edges = append(t.Edges, Edge{
+			Caller: caller,
+			Group:  group,
+			Weight: w,
+			Async:  rng.Float64() < cfg.AsyncFraction,
+			Logged: true,
+		})
+		return true
+	}
+
+	// GUI applications call many groups.
+	for _, n := range guiAppNames {
+		k := cfg.GUIEdgesMin + rng.Intn(cfg.GUIEdgesMax-cfg.GUIEdgesMin+1)
+		for added := 0; added < k; {
+			g := pickGroup(func(id string) bool {
+				return edgeSet[AppServicePair{App: n, Group: id}]
+			})
+			if g == "" {
+				break
+			}
+			if addEdge(n, g) {
+				added++
+			}
+		}
+	}
+	// Figure 1 of the paper shows DPIFormidoc calling DPIPublication;
+	// guarantee that flavor pair exists with a high weight so the example
+	// and eval.Figure1 always have a strongly interacting pair to show.
+	addEdge("DPIFormidoc", "DPIPUBLICATION")
+	for i := range t.Edges {
+		if t.Edges[i].Caller == "DPIFormidoc" && t.Edges[i].Group == "DPIPUBLICATION" {
+			t.Edges[i].Weight = 3
+			t.Edges[i].Async = false
+		}
+	}
+
+	// Service applications call a few groups of other owners (transitive
+	// chains).
+	for _, n := range serviceApps {
+		k := rng.Intn(3) // 0..2
+		for added := 0; added < k; {
+			g := pickGroup(func(id string) bool {
+				return t.groupByID[id].Owner == n ||
+					edgeSet[AppServicePair{App: n, Group: id}]
+			})
+			if g == "" {
+				break
+			}
+			if addEdge(n, g) {
+				added++
+			}
+		}
+	}
+	// Pad or trim to the exact edge budget.
+	for len(t.Edges) < cfg.TotalEdges {
+		caller := serviceApps[rng.Intn(len(serviceApps))]
+		g := pickGroup(func(id string) bool {
+			return t.groupByID[id].Owner == caller ||
+				edgeSet[AppServicePair{App: caller, Group: id}]
+		})
+		if g == "" {
+			continue
+		}
+		addEdge(caller, g)
+	}
+	if len(t.Edges) > cfg.TotalEdges {
+		t.Edges = t.Edges[:cfg.TotalEdges]
+	}
+	t.reindex()
+	ensureAllGroupsTargeted(t)
+	t.reindex()
+
+	assignPhenomena(t, rng)
+	assignServingStyles(t, rng)
+	t.reindex()
+	return t
+}
+
+// assignPhenomena marks specific edges and applications with the §4.8 error
+// phenomena, with the same cardinalities as the paper's analysis.
+func assignPhenomena(t *Topology, rng *rand.Rand) {
+	ph := &t.Phenomena
+	ph.WrongNameEdges = make(map[AppServicePair]string)
+
+	// Sort candidate edge indexes by weight ascending so that "special"
+	// edges are low-traffic ones, as in the paper's narrative.
+	idx := make([]int, len(t.Edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return t.Edges[idx[a]].Weight < t.Edges[idx[b]].Weight })
+	// Track callers per group: an edge that is its group's only caller must
+	// keep generating traffic, or the group's owner would never serve and
+	// the §4.8 inverted-dependency accounting would fall short.
+	incoming := make(map[string]int, len(t.Groups))
+	for _, e := range t.Edges {
+		incoming[e.Group]++
+	}
+	next := 0
+	take := func() *Edge {
+		for next < len(idx) {
+			e := &t.Edges[idx[next]]
+			next++
+			if !e.Rare && e.Logged && e.WrongID == "" && incoming[e.Group] >= 2 {
+				return e
+			}
+		}
+		return nil
+	}
+
+	// Three wrong-name edges (assigned first, so the rare/unlogged passes
+	// below cannot collide with them): ensure an edge to each new-version
+	// group and cite the old id instead. The citation is a dependency claim
+	// on the old group → both a false negative (new group missed) and a
+	// similar-id false positive (old group claimed).
+	for i, base := range versionedGroupBases {
+		newID := base + "2"
+		caller := guiAppNames[i] // a distinct GUI app per versioned service
+		p := AppServicePair{App: caller, Group: newID}
+		found := false
+		for j := range t.Edges {
+			if t.Edges[j].Caller == caller && t.Edges[j].Group == newID {
+				found = true
+				t.Edges[j].WrongID = base
+				t.Edges[j].Rare = false
+				t.Edges[j].Logged = true
+			}
+		}
+		if !found {
+			// Replace this caller's lowest-weight edge to keep the budget,
+			// never stealing a group's only caller.
+			best := -1
+			for j := range t.Edges {
+				if t.Edges[j].Caller != caller || t.Edges[j].Rare || !t.Edges[j].Logged ||
+					t.Edges[j].WrongID != "" || t.Edges[j].StackTraceCite != "" ||
+					incoming[t.Edges[j].Group] < 2 {
+					continue
+				}
+				if best == -1 || t.Edges[j].Weight < t.Edges[best].Weight {
+					best = j
+				}
+			}
+			e := &t.Edges[best]
+			incoming[e.Group]--
+			incoming[newID]++
+			e.Group = newID
+			e.WrongID = base
+			e.Weight = 0.4 + 0.3*rng.Float64()
+			e.Async = false
+		}
+		ph.WrongNameEdges[p] = base
+		ph.SimilarIDPairs = append(ph.SimilarIDPairs, AppServicePair{App: caller, Group: base})
+	}
+
+	// Six rare edges (never realized in the test week). Rare edges stop
+	// producing traffic, so they must not be their group's only caller.
+	for i := 0; i < 6; i++ {
+		if e := take(); e != nil {
+			e.Rare = true
+			incoming[e.Group]--
+			ph.RareEdges = append(ph.RareEdges, AppServicePair{App: e.Caller, Group: e.Group})
+		}
+	}
+	// Seven unlogged edges.
+	for i := 0; i < 7; i++ {
+		if e := take(); e != nil {
+			e.Logged = false
+			ph.UnloggedEdges = append(ph.UnloggedEdges, AppServicePair{App: e.Caller, Group: e.Group})
+		}
+	}
+	// Two spontaneous similar-id citations: GUI apps that occasionally cite
+	// a sibling group id they do not use. Pick sibling = another group of
+	// an owner they DO call, which they do not call themselves.
+	similar := 0
+	for _, gui := range guiAppNames[3:] {
+		if similar >= 2 {
+			break
+		}
+		p, ok := findSiblingPair(t, gui, ph.SimilarIDPairs)
+		if !ok {
+			continue
+		}
+		ph.SimilarIDPairs = append(ph.SimilarIDPairs, p)
+		similar++
+	}
+
+	// Seven coincidence pairs: one GUI app per legacy group id, chosen so
+	// the app does not depend on the group.
+	for i, id := range legacyGroupIDs {
+		for off := 0; off < len(guiAppNames); off++ {
+			app := guiAppNames[(i+2+off)%len(guiAppNames)]
+			p := AppServicePair{App: app, Group: id}
+			if t.hasEdge(p) || containsPair(ph.CoincidencePairs, p) {
+				continue
+			}
+			ph.CoincidencePairs = append(ph.CoincidencePairs, p)
+			break
+		}
+	}
+
+	// Five stack-trace pairs: edges A→S where owner(S) has its own edge to
+	// T; failed calls make A log a trace citing T (and A must not really
+	// depend on T).
+	count := 0
+	for i := range t.Edges {
+		if count >= 5 {
+			break
+		}
+		e := &t.Edges[i]
+		if !e.Logged || e.Rare || e.WrongID != "" {
+			continue
+		}
+		owner := t.groupByID[e.Group].Owner
+		for _, sub := range t.EdgesOf(owner) {
+			if sub.Rare {
+				continue
+			}
+			p := AppServicePair{App: e.Caller, Group: sub.Group}
+			// The cited group must be neither a real dependency of the
+			// caller nor owned by it (that would be an inverted, not a
+			// transitive, false positive), and must not coincide with a
+			// pair already claimed by another phenomenon.
+			if t.hasEdge(p) || t.groupByID[sub.Group].Owner == e.Caller ||
+				containsPair(ph.SimilarIDPairs, p) ||
+				containsPair(ph.CoincidencePairs, p) ||
+				containsPair(ph.StackTracePairs, p) {
+				continue
+			}
+			e.StackTraceCite = sub.Group
+			if e.Weight < 1 {
+				// The failure evidence needs enough traffic to surface at
+				// least once a week at realistic failure rates.
+				e.Weight = 1
+			}
+			ph.StackTracePairs = append(ph.StackTracePairs, p)
+			count++
+			break
+		}
+	}
+}
+
+// ensureAllGroupsTargeted retargets surplus edges so that every service
+// group has at least one caller: a directory entry nobody invokes would
+// leave its owner without serving traffic, starving both the §4.8 ablation
+// (24 inverted dependencies without stop patterns) and the week-union
+// realization the paper's false-negative analysis relies on.
+func ensureAllGroupsTargeted(t *Topology) {
+	incoming := make(map[string]int, len(t.Groups))
+	for _, e := range t.Edges {
+		incoming[e.Group]++
+	}
+	for gi := range t.Groups {
+		g := &t.Groups[gi]
+		if incoming[g.ID] > 0 {
+			continue
+		}
+		// Steal the lowest-weight edge whose target keeps ≥ 2 callers and
+		// whose caller can legally call g.
+		best := -1
+		for i := range t.Edges {
+			e := &t.Edges[i]
+			if incoming[e.Group] < 2 || e.Caller == g.Owner {
+				continue
+			}
+			if e.Caller == "DPIFormidoc" && e.Group == "DPIPUBLICATION" {
+				continue // the guaranteed figure-1 pair
+			}
+			if t.hasEdge(AppServicePair{App: e.Caller, Group: g.ID}) {
+				continue
+			}
+			if best == -1 || e.Weight < t.Edges[best].Weight {
+				best = i
+			}
+		}
+		if best >= 0 {
+			incoming[t.Edges[best].Group]--
+			t.Edges[best].Group = g.ID
+			incoming[g.ID]++
+			t.reindex()
+		}
+	}
+}
+
+// findSiblingPair returns an (app, group) pair where group is a sibling
+// group (same owner) of one the app calls, but the app neither calls it nor
+// already has it recorded — the shape of a plausible copy-paste citation
+// error.
+func findSiblingPair(t *Topology, app string, taken []AppServicePair) (AppServicePair, bool) {
+	for _, e := range t.EdgesOf(app) {
+		owner := t.groupByID[e.Group].Owner
+		for _, sib := range t.GroupsOwnedBy(owner) {
+			if sib.ID == e.Group {
+				continue
+			}
+			p := AppServicePair{App: app, Group: sib.ID}
+			if t.hasEdge(p) || containsPair(taken, p) {
+				continue
+			}
+			return p, true
+		}
+	}
+	return AppServicePair{}, false
+}
+
+// containsPair reports whether pairs contains p.
+func containsPair(pairs []AppServicePair, p AppServicePair) bool {
+	for _, q := range pairs {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// hasEdge reports whether the ground truth contains the dependency.
+func (t *Topology) hasEdge(p AppServicePair) bool {
+	for _, e := range t.edgesByApp[p.App] {
+		if e.Group == p.Group {
+			return true
+		}
+	}
+	return false
+}
+
+// assignServingStyles gives 24 group owners self-citing serving-log
+// formats: 22 in formats covered by the canonical stop patterns, 2 in
+// formats that are not (the inverted false positives of §4.8). Only owners
+// of exactly one group are styled, so the number of self-cited (app, group)
+// pairs equals the number of styled applications — 24 inverted dependencies
+// without stop patterns, 2 with, as in the paper.
+func assignServingStyles(t *Topology, rng *rand.Rand) {
+	var owners []string
+	for o, gs := range t.ownerGroups {
+		if len(gs) == 1 {
+			owners = append(owners, o)
+		}
+	}
+	sort.Strings(owners)
+	rng.Shuffle(len(owners), func(i, j int) { owners[i], owners[j] = owners[j], owners[i] })
+	ph := &t.Phenomena
+	for i, o := range owners {
+		a := t.appByName[o]
+		switch {
+		case i < 2:
+			a.ServingStyle = numStoppableServingStyles + i%numUnstoppableServingStyles
+			ph.InvertedApps = append(ph.InvertedApps, o)
+		case i < 24:
+			a.ServingStyle = i % numStoppableServingStyles
+			ph.StoppableApps = append(ph.StoppableApps, o)
+		default:
+			a.ServingStyle = -1 // serving logs carry no group citation
+		}
+	}
+	sort.Strings(ph.InvertedApps)
+	sort.Strings(ph.StoppableApps)
+}

@@ -1,0 +1,67 @@
+package logmodel
+
+import (
+	"compress/gzip"
+	"os"
+	"strings"
+)
+
+// File helpers with transparent gzip support: centralized log archives are
+// almost always compressed (the paper's environment accumulates more than a
+// terabyte of logs per year), so the tooling reads and writes ".gz" files
+// directly.
+
+// WriteFile writes the store to the named file in wire format, gzipped when
+// the name ends in ".gz".
+func WriteFile(name string, s *Store) (err error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if strings.HasSuffix(name, ".gz") {
+		zw := gzip.NewWriter(f)
+		if err := WriteAll(zw, s); err != nil {
+			zw.Close()
+			return err
+		}
+		return zw.Close()
+	}
+	return WriteAll(f, s)
+}
+
+// ReadFile reads a wire-format log file into a sorted store, transparently
+// decompressing when the name ends in ".gz".
+func ReadFile(name string) (*Store, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(name, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		return ReadAll(zr)
+	}
+	return ReadAll(f)
+}
+
+// ReadFiles reads and merges several log files into one sorted store.
+func ReadFiles(names []string) (*Store, error) {
+	stores := make([]*Store, 0, len(names))
+	for _, name := range names {
+		s, err := ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		stores = append(stores, s)
+	}
+	return Merge(stores...), nil
+}

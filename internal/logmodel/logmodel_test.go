@@ -1,0 +1,258 @@
+package logmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMillisConversions(t *testing.T) {
+	ts := time.Date(2005, 12, 6, 8, 30, 15, 123e6, time.UTC)
+	m := FromTime(ts)
+	if got := m.Time(); !got.Equal(ts) {
+		t.Errorf("round trip: %v != %v", got, ts)
+	}
+	if s := Millis(1500).Seconds(); s != 1.5 {
+		t.Errorf("Seconds = %v", s)
+	}
+	if m := SecondsToMillis(1.5); m != 1500 {
+		t.Errorf("SecondsToMillis = %v", m)
+	}
+	if m := SecondsToMillis(0.9999); m != 1000 {
+		t.Errorf("SecondsToMillis rounding = %v", m)
+	}
+}
+
+func TestSeverity(t *testing.T) {
+	for _, s := range []Severity{SevDebug, SevInfo, SevWarn, SevError} {
+		parsed, err := ParseSeverity(s.String())
+		if err != nil || parsed != s {
+			t.Errorf("round trip %v: %v, %v", s, parsed, err)
+		}
+	}
+	if _, err := ParseSeverity("TRACE"); err == nil {
+		t.Error("expected error for unknown severity")
+	}
+	if s := Severity(9).String(); s != "SEV(9)" {
+		t.Errorf("unknown severity String = %q", s)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	r := TimeRange{Start: 0, End: 3 * MillisPerHour}
+	if !r.Contains(0) || r.Contains(3*MillisPerHour) || !r.Contains(MillisPerHour) {
+		t.Error("Contains half-open semantics")
+	}
+	hours := r.Hours()
+	if len(hours) != 3 {
+		t.Fatalf("Hours = %d", len(hours))
+	}
+	if hours[1].Start != MillisPerHour || hours[1].End != 2*MillisPerHour {
+		t.Errorf("hour 1 = %+v", hours[1])
+	}
+	// Partial trailing window.
+	r2 := TimeRange{Start: 0, End: MillisPerHour + MillisPerMinute}
+	if got := r2.Hours(); len(got) != 2 || got[1].Duration() != MillisPerMinute {
+		t.Errorf("partial hours = %+v", got)
+	}
+	if got := (TimeRange{Start: 5, End: 5}).Hours(); got != nil {
+		t.Errorf("empty range Hours = %v", got)
+	}
+	if got := r.Split(0); got != nil {
+		t.Errorf("zero width Split = %v", got)
+	}
+	week := TimeRange{Start: 0, End: 7 * MillisPerDay}
+	if week.Days() != 7 {
+		t.Errorf("Days = %d", week.Days())
+	}
+	d2 := week.Day(2)
+	if d2.Start != 2*MillisPerDay || d2.End != 3*MillisPerDay {
+		t.Errorf("Day(2) = %+v", d2)
+	}
+	if (TimeRange{}).Days() != 0 {
+		t.Error("empty Days")
+	}
+}
+
+func mkEntry(t Millis, src string) Entry {
+	return Entry{Time: t, Source: src, Host: "h1", User: "u1", Severity: SevInfo, Message: "m"}
+}
+
+func TestStoreAppendSort(t *testing.T) {
+	s := NewStore(0)
+	if !s.Sorted() {
+		t.Error("empty store should be sorted")
+	}
+	s.Append(mkEntry(10, "A"))
+	s.Append(mkEntry(20, "B"))
+	if !s.Sorted() {
+		t.Error("in-order appends should stay sorted")
+	}
+	s.Append(mkEntry(5, "C"))
+	if s.Sorted() {
+		t.Error("out-of-order append should mark unsorted")
+	}
+	s.Sort()
+	if !s.Sorted() || s.At(0).Source != "C" {
+		t.Errorf("after Sort: first = %+v", s.At(0))
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreSortStable(t *testing.T) {
+	s := NewStore(0)
+	s.Append(mkEntry(10, "first"))
+	s.Append(mkEntry(10, "second"))
+	s.Append(mkEntry(5, "zero"))
+	s.Sort()
+	if s.At(1).Source != "first" || s.At(2).Source != "second" {
+		t.Error("Sort is not stable for equal timestamps")
+	}
+}
+
+func TestStoreUnsortedPanics(t *testing.T) {
+	s := NewStore(0)
+	s.Append(mkEntry(10, "A"))
+	s.Append(mkEntry(5, "B"))
+	defer func() {
+		if recover() == nil {
+			t.Error("Range on unsorted store should panic")
+		}
+	}()
+	s.Range(TimeRange{Start: 0, End: 100})
+}
+
+func TestStoreRange(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 10; i++ {
+		s.Append(mkEntry(Millis(i*10), "A"))
+	}
+	got := s.Range(TimeRange{Start: 20, End: 50})
+	if len(got) != 3 {
+		t.Fatalf("Range len = %d", len(got))
+	}
+	if got[0].Time != 20 || got[2].Time != 40 {
+		t.Errorf("Range bounds: %v..%v", got[0].Time, got[2].Time)
+	}
+	if n := s.CountRange(TimeRange{Start: 0, End: 1000}); n != 10 {
+		t.Errorf("CountRange = %d", n)
+	}
+	if n := s.CountRange(TimeRange{Start: 95, End: 99}); n != 0 {
+		t.Errorf("empty CountRange = %d", n)
+	}
+}
+
+func TestStoreSpan(t *testing.T) {
+	s := NewStore(0)
+	if sp := s.Span(); sp != (TimeRange{}) {
+		t.Errorf("empty Span = %+v", sp)
+	}
+	s.Append(mkEntry(100, "A"))
+	s.Append(mkEntry(200, "B"))
+	sp := s.Span()
+	if sp.Start != 100 || sp.End != 201 {
+		t.Errorf("Span = %+v", sp)
+	}
+	if !sp.Contains(200) {
+		t.Error("Span must contain the last entry")
+	}
+}
+
+func TestStoreSources(t *testing.T) {
+	s := NewStore(0)
+	s.Append(mkEntry(1, "B"))
+	s.Append(mkEntry(2, "A"))
+	s.Append(mkEntry(3, "B"))
+	got := s.Sources()
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Sources = %v", got)
+	}
+	counts := s.CountBySource()
+	if counts["B"] != 2 || counts["A"] != 1 {
+		t.Errorf("CountBySource = %v", counts)
+	}
+}
+
+func TestSourceIndex(t *testing.T) {
+	s := NewStore(0)
+	s.Append(mkEntry(1, "A"))
+	s.Append(mkEntry(2, "B"))
+	s.Append(mkEntry(3, "A"))
+	idx := s.SourceIndex()
+	if len(idx["A"]) != 2 || idx["A"][0] != 1 || idx["A"][1] != 3 {
+		t.Errorf("SourceIndex[A] = %v", idx["A"])
+	}
+	sub := s.SourceIndexRange(TimeRange{Start: 2, End: 4})
+	if len(sub["A"]) != 1 || sub["A"][0] != 3 || len(sub["B"]) != 1 {
+		t.Errorf("SourceIndexRange = %v", sub)
+	}
+}
+
+func TestActivitySeries(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 10; i++ {
+		s.Append(mkEntry(Millis(i*500), "A")) // one every 0.5 s
+	}
+	r := TimeRange{Start: 0, End: 5000}
+	series := s.ActivitySeries("A", r, MillisPerSecond)
+	if len(series) != 5 {
+		t.Fatalf("series len = %d", len(series))
+	}
+	for i, c := range series {
+		if c != 2 {
+			t.Errorf("bucket %d = %d, want 2", i, c)
+		}
+	}
+	if got := s.ActivitySeries("B", r, MillisPerSecond); len(got) != 5 || got[0] != 0 {
+		t.Errorf("series for absent source = %v", got)
+	}
+	if got := s.ActivitySeries("A", TimeRange{Start: 5, End: 5}, MillisPerSecond); got != nil {
+		t.Errorf("empty range series = %v", got)
+	}
+}
+
+func TestActivitySeriesPanicsOnZeroBucket(t *testing.T) {
+	s := NewStore(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.ActivitySeries("A", TimeRange{End: 10}, 0)
+}
+
+func TestFilter(t *testing.T) {
+	s := NewStore(0)
+	s.Append(mkEntry(1, "A"))
+	s.Append(mkEntry(2, "B"))
+	s.Append(mkEntry(3, "A"))
+	got := s.FilterSource("A")
+	if got.Len() != 2 || got.At(0).Time != 1 || got.At(1).Time != 3 {
+		t.Errorf("FilterSource = %+v", got.Entries())
+	}
+	if !got.Sorted() {
+		t.Error("filtered store lost sortedness")
+	}
+	sev := s.Filter(func(e *Entry) bool { return e.Severity == SevInfo })
+	if sev.Len() != 3 {
+		t.Errorf("severity filter = %d", sev.Len())
+	}
+	// Filtering an unsorted store keeps it unsorted.
+	u := NewStore(0)
+	u.Append(mkEntry(5, "X"))
+	u.Append(mkEntry(1, "X"))
+	if u.FilterSource("X").Sorted() {
+		t.Error("unsorted filter reported sorted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewStore(0)
+	s.Append(mkEntry(1, "A"))
+	c := s.Clone()
+	c.Append(mkEntry(2, "B"))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Errorf("Clone not independent: %d vs %d", s.Len(), c.Len())
+	}
+}

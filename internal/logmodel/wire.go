@@ -1,0 +1,163 @@
+package logmodel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The wire format is one entry per line, tab-separated:
+//
+//	<RFC3339-millis timestamp> \t <source> \t <host> \t <user> \t <severity> \t <message>
+//
+// Tabs, newlines and backslashes inside the message are backslash-escaped.
+// The format is intentionally trivial: the paper's point is that the miners
+// need almost no structure, so the substrate should not either.
+
+// timeLayout is RFC3339 with millisecond precision, the timestamp format of
+// the wire format.
+const timeLayout = "2006-01-02T15:04:05.000Z07:00"
+
+// FormatEntry renders an entry as one wire-format line (without trailing
+// newline).
+func FormatEntry(e Entry) string {
+	return fmt.Sprintf("%s\t%s\t%s\t%s\t%s\t%s",
+		e.Time.Time().Format(timeLayout),
+		e.Source, e.Host, e.User, e.Severity, escapeMessage(e.Message))
+}
+
+// ParseEntry parses one wire-format line.
+func ParseEntry(line string) (Entry, error) {
+	parts := strings.SplitN(line, "\t", 6)
+	if len(parts) != 6 {
+		return Entry{}, fmt.Errorf("logmodel: malformed line: %d fields, want 6", len(parts))
+	}
+	ts, err := time.Parse(timeLayout, parts[0])
+	if err != nil {
+		return Entry{}, fmt.Errorf("logmodel: bad timestamp %q: %w", parts[0], err)
+	}
+	sev, err := ParseSeverity(parts[4])
+	if err != nil {
+		return Entry{}, err
+	}
+	if parts[1] == "" {
+		return Entry{}, fmt.Errorf("logmodel: empty source field")
+	}
+	return Entry{
+		Time:     FromTime(ts),
+		Source:   parts[1],
+		Host:     parts[2],
+		User:     parts[3],
+		Severity: sev,
+		Message:  unescapeMessage(parts[5]),
+	}, nil
+}
+
+// Writer streams entries to an io.Writer in wire format.
+type Writer struct {
+	bw    *bufio.Writer
+	count int
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one entry.
+func (w *Writer) Write(e Entry) error {
+	if _, err := w.bw.WriteString(FormatEntry(e)); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of entries written so far.
+func (w *Writer) Count() int { return w.count }
+
+// Flush flushes buffered output. It must be called before the underlying
+// writer is closed.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// WriteAll writes all entries of the store to w in wire format.
+func WriteAll(w io.Writer, s *Store) error {
+	lw := NewWriter(w)
+	for _, e := range s.Entries() {
+		if err := lw.Write(e); err != nil {
+			return err
+		}
+	}
+	return lw.Flush()
+}
+
+// Reader streams entries from an io.Reader in wire format.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next entry, or io.EOF at end of input. Blank lines are
+// skipped. Parse errors include the line number.
+func (r *Reader) Read() (Entry, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := r.sc.Text()
+		if line == "" {
+			continue
+		}
+		e, err := ParseEntry(line)
+		if err != nil {
+			return Entry{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return e, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Entry{}, err
+	}
+	return Entry{}, io.EOF
+}
+
+// ReadAll reads all entries from r into a new store and sorts it.
+func ReadAll(r io.Reader) (*Store, error) {
+	s := NewStore(1024)
+	lr := NewReader(r)
+	for {
+		e, err := lr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.Append(e)
+	}
+	s.Sort()
+	return s, nil
+}
+
+// Merge combines several sorted stores into one sorted store.
+func Merge(stores ...*Store) *Store {
+	total := 0
+	for _, s := range stores {
+		total += s.Len()
+	}
+	out := NewStore(total)
+	for _, s := range stores {
+		out.AppendAll(s.Entries())
+	}
+	out.Sort()
+	return out
+}

@@ -1,0 +1,60 @@
+package stats
+
+import "math"
+
+// FisherExact computes Fisher's exact test for a 2×2 contingency table
+// with fixed margins. It returns the one-sided p-value for attraction
+// (P[X ≥ O11] under the hypergeometric null) and the two-sided p-value
+// (sum of all table probabilities not exceeding the observed one).
+//
+// The asymptotic G² and X² tests need expected counts of a few per cell;
+// at small corpus sizes (short sessions, single hours) Fisher's exact test
+// is the statistically safe alternative for approach L2, at higher cost.
+// Cells are rounded to integers; negative cells yield p-values of 1.
+func FisherExact(t ContingencyTable) (oneSided, twoSided float64) {
+	a := int(t.O11 + 0.5)
+	b := int(t.O12 + 0.5)
+	c := int(t.O21 + 0.5)
+	d := int(t.O22 + 0.5)
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return 1, 1
+	}
+	r1 := a + b
+	c1 := a + c
+	n := a + b + c + d
+	if n == 0 || r1 == 0 || c1 == 0 || r1 == n || c1 == n {
+		return 1, 1
+	}
+	// Hypergeometric support for the O11 cell.
+	lo := r1 + c1 - n
+	if lo < 0 {
+		lo = 0
+	}
+	hi := r1
+	if c1 < hi {
+		hi = c1
+	}
+	// log P(X = k) with margins fixed.
+	logP := func(k int) float64 {
+		return LogChoose(c1, k) + LogChoose(n-c1, r1-k) - LogChoose(n, r1)
+	}
+	pObs := logP(a)
+	var one, two float64
+	const eps = 1e-9
+	for k := lo; k <= hi; k++ {
+		p := math.Exp(logP(k))
+		if k >= a {
+			one += p
+		}
+		if logP(k) <= pObs+eps {
+			two += p
+		}
+	}
+	if one > 1 {
+		one = 1
+	}
+	if two > 1 {
+		two = 1
+	}
+	return one, two
+}

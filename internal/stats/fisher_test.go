@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFisherExactKnownValue(t *testing.T) {
+	// Fisher's original tea-tasting table: [[3,1],[1,3]].
+	// One-sided p = P(X ≥ 3) = (C(4,3)C(4,1) + C(4,4)C(4,0)) / C(8,4)
+	//             = (16 + 1) / 70 = 0.242857...
+	tab := ContingencyTable{O11: 3, O12: 1, O21: 1, O22: 3}
+	one, two := FisherExact(tab)
+	if !almostEqual(one, 17.0/70.0, 1e-12) {
+		t.Errorf("one-sided p = %v, want %v", one, 17.0/70.0)
+	}
+	// Two-sided doubles by symmetry here.
+	if !almostEqual(two, 34.0/70.0, 1e-12) {
+		t.Errorf("two-sided p = %v, want %v", two, 34.0/70.0)
+	}
+}
+
+func TestFisherExactExtremeTable(t *testing.T) {
+	// Perfect association: one-sided p = 1/C(8,4).
+	tab := ContingencyTable{O11: 4, O12: 0, O21: 0, O22: 4}
+	one, _ := FisherExact(tab)
+	if !almostEqual(one, 1.0/70.0, 1e-12) {
+		t.Errorf("p = %v, want 1/70", one)
+	}
+}
+
+func TestFisherExactDegenerate(t *testing.T) {
+	cases := []ContingencyTable{
+		{},                               // empty
+		{O11: 0, O12: 0, O21: 3, O22: 3}, // zero row margin
+		{O11: 0, O12: 3, O21: 0, O22: 3}, // zero column margin
+		{O11: 2, O12: 3, O21: 4, O22: 0}, // full row — valid but check no panic
+	}
+	for i, tab := range cases {
+		one, two := FisherExact(tab)
+		if math.IsNaN(one) || math.IsNaN(two) || one < 0 || one > 1 || two < 0 || two > 1 {
+			t.Errorf("case %d: p = %v, %v", i, one, two)
+		}
+	}
+	if one, two := FisherExact(ContingencyTable{O11: -1, O12: 1, O21: 1, O22: 1}); one != 1 || two != 1 {
+		t.Error("negative cell should give p = 1")
+	}
+}
+
+func TestFisherAgreesWithG2LargeCounts(t *testing.T) {
+	// For large balanced tables the exact and asymptotic p-values converge.
+	tab := ContingencyTable{O11: 60, O12: 40, O21: 40, O22: 60}
+	one, _ := FisherExact(tab)
+	g2p := ChiSquaredSF(LogLikelihoodG2(tab), 1) / 2 // one-sided
+	if ratio := one / g2p; ratio < 0.5 || ratio > 2 {
+		t.Errorf("Fisher %v vs G²/2 %v diverge", one, g2p)
+	}
+}
+
+func TestFisherMoreConservativeSmallCounts(t *testing.T) {
+	// On a tiny table the asymptotic test overstates significance; the
+	// exact test must give the larger (honest) p-value.
+	tab := ContingencyTable{O11: 3, O12: 0, O21: 1, O22: 4}
+	one, _ := FisherExact(tab)
+	g2p := ChiSquaredSF(LogLikelihoodG2(tab), 1) / 2
+	if one <= g2p {
+		t.Errorf("exact p %v not above asymptotic %v on a tiny table", one, g2p)
+	}
+}
+
+func TestFisherOneSidedDirection(t *testing.T) {
+	// Repulsion (O11 below expectation): one-sided attraction p near 1.
+	tab := ContingencyTable{O11: 0, O12: 5, O21: 5, O22: 0}
+	one, _ := FisherExact(tab)
+	if one < 0.99 {
+		t.Errorf("repulsed table one-sided p = %v", one)
+	}
+}

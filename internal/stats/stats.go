@@ -1,0 +1,180 @@
+// Package stats implements the statistical machinery the logscape miners
+// and the evaluation harness rely on.
+//
+// The paper builds on a small number of classical tools that have no
+// counterpart in the Go standard library, so they are implemented here from
+// scratch:
+//
+//   - robust, non-parametric confidence intervals for the median (and any
+//     quantile) based on order statistics, following Le Boudec's
+//     "Performance Evaluation of Computer and Communication Systems"
+//     (the method cited as [9] in the paper and used by approaches L1
+//     and the per-day evaluation);
+//   - association tests on 2x2 contingency tables, in particular Dunning's
+//     log-likelihood ratio statistic G² (used by approach L2) and Pearson's
+//     X² for comparison;
+//   - the Wilcoxon signed rank test (used in §4.7 to confirm the timeout
+//     influence);
+//   - simple linear regression with a confidence interval for the slope
+//     (used in §4.9 to quantify the influence of system load);
+//   - chi-squared goodness-of-fit against the uniform distribution (used by
+//     the Agrawal et al. delay-histogram baseline).
+//
+// Supporting special functions (regularized incomplete gamma and beta,
+// normal quantiles) are implemented with standard series/continued-fraction
+// expansions and are accurate to well beyond the needs of the hypothesis
+// tests above.
+//
+// All functions are deterministic and allocation-conscious; functions that
+// need randomness take an explicit *rand.Rand.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Common errors returned by the package.
+var (
+	// ErrEmpty indicates an empty input sample.
+	ErrEmpty = errors.New("stats: empty sample")
+	// ErrBadLevel indicates a confidence level outside (0, 1).
+	ErrBadLevel = errors.New("stats: confidence level must be in (0, 1)")
+	// ErrShortSample indicates a sample too small for the requested method.
+	ErrShortSample = errors.New("stats: sample too small")
+	// ErrMismatch indicates paired samples of different lengths.
+	ErrMismatch = errors.New("stats: paired samples have different lengths")
+)
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	// Kahan summation: the evaluation harness sums long series of small
+	// per-slot values where naive summation loses precision.
+	var sum, c float64
+	for _, x := range xs {
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 for samples of size < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs. It panics on an empty sample.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty sample.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sorted reports whether xs is sorted in non-decreasing order.
+func Sorted(xs []float64) bool { return sort.Float64sAreSorted(xs) }
+
+// SortedCopy returns a sorted copy of xs, leaving xs untouched.
+func SortedCopy(xs []float64) []float64 {
+	ys := make([]float64, len(xs))
+	copy(ys, xs)
+	sort.Float64s(ys)
+	return ys
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of the sorted sample using
+// linear interpolation between order statistics (type 7, the R default).
+// The input must be sorted; Quantile panics on an empty sample.
+func Quantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Median returns the median of the sorted sample.
+func Median(sorted []float64) float64 { return Quantile(sorted, 0.5) }
+
+// MedianOf sorts a copy of xs and returns its median.
+func MedianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: MedianOf empty sample")
+	}
+	return Median(SortedCopy(xs))
+}
+
+// FiveNum is the five-number summary backing a boxplot: the sample extremes,
+// the quartiles and the median (figure 2 of the paper shows boxplots of the
+// distance samples used by approach L1).
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summary returns the five-number summary of the sorted sample.
+func Summary(sorted []float64) FiveNum {
+	return FiveNum{
+		Min:    sorted[0],
+		Q1:     Quantile(sorted, 0.25),
+		Median: Median(sorted),
+		Q3:     Quantile(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// IQR returns the interquartile range of the summary.
+func (f FiveNum) IQR() float64 { return f.Q3 - f.Q1 }

@@ -1,0 +1,118 @@
+package textproc
+
+import (
+	"sort"
+	"strings"
+)
+
+// Template is a message cluster discovered by the SLCT-style algorithm: a
+// token pattern in which infrequent positions are wildcards.
+type Template struct {
+	// Tokens is the positional pattern; Wildcard marks variable positions.
+	Tokens []string
+	// Count is the number of messages matching the template.
+	Count int
+}
+
+// Wildcard is the token standing for a variable position in a Template.
+const Wildcard = "\x00*"
+
+// String renders the template with "*" for wildcards.
+func (t Template) String() string {
+	parts := make([]string, len(t.Tokens))
+	for i, tok := range t.Tokens {
+		if tok == Wildcard {
+			parts[i] = "*"
+		} else {
+			parts[i] = tok
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Matches reports whether the tokenized message matches the template
+// (equal length, fixed positions equal).
+func (t Template) Matches(tokens []string) bool {
+	if len(tokens) != len(t.Tokens) {
+		return false
+	}
+	for i, tok := range t.Tokens {
+		if tok != Wildcard && tok != tokens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SLCT clusters log messages into templates following Vaarandi's Simple
+// Logfile Clustering Tool (referenced in §2.2 of the paper): a first pass
+// counts (position, word) frequencies, a second pass maps each message to a
+// cluster candidate that keeps only the frequent words, and candidates
+// supported by at least `support` messages become templates.
+//
+// The paper's future work (§5) suggests classifying log messages of an
+// application in a preprocessing step using exactly this family of
+// algorithms; the hospital simulator's message templates are recoverable by
+// it, which the integration tests exercise.
+func SLCT(messages []string, support int) []Template {
+	if support < 1 {
+		support = 1
+	}
+	type posWord struct {
+		pos  int
+		word string
+	}
+	freq := make(map[posWord]int)
+	tokenized := make([][]string, len(messages))
+	for i, m := range messages {
+		toks := Tokenize(m)
+		tokenized[i] = toks
+		for p, w := range toks {
+			freq[posWord{p, w}]++
+		}
+	}
+	candidates := make(map[string]int)
+	shape := make(map[string][]string)
+	var keyBuf strings.Builder
+	for _, toks := range tokenized {
+		if len(toks) == 0 {
+			continue
+		}
+		cand := make([]string, len(toks))
+		anyFixed := false
+		for p, w := range toks {
+			if freq[posWord{p, w}] >= support {
+				cand[p] = w
+				anyFixed = true
+			} else {
+				cand[p] = Wildcard
+			}
+		}
+		if !anyFixed {
+			continue
+		}
+		keyBuf.Reset()
+		for _, c := range cand {
+			keyBuf.WriteString(c)
+			keyBuf.WriteByte('\x01')
+		}
+		k := keyBuf.String()
+		candidates[k]++
+		if _, ok := shape[k]; !ok {
+			shape[k] = cand
+		}
+	}
+	var out []Template
+	for k, c := range candidates {
+		if c >= support {
+			out = append(out, Template{Tokens: shape[k], Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}

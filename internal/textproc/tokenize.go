@@ -1,0 +1,51 @@
+package textproc
+
+import "strings"
+
+// Tokenize splits a log message into word tokens: maximal runs of letters,
+// digits and underscores. Everything else is a separator. This is the
+// tokenization used by the SLCT-style clustering and by tests that reason
+// about word boundaries.
+func Tokenize(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if isWordByte(s[i]) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, s[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// HasWordBounded reports whether word occurs in s bounded by non-word bytes
+// (or the string edges). It is the single-pattern equivalent of
+// Matcher.FindSetWordBounded, convenient for stop patterns and tests.
+func HasWordBounded(s, word string) bool {
+	if word == "" {
+		return false
+	}
+	for off := 0; ; {
+		i := strings.Index(s[off:], word)
+		if i < 0 {
+			return false
+		}
+		i += off
+		leftOK := i == 0 || !isWordByte(s[i-1])
+		j := i + len(word)
+		rightOK := j == len(s) || !isWordByte(s[j])
+		if leftOK && rightOK {
+			return true
+		}
+		off = i + 1
+	}
+}

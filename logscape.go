@@ -1,0 +1,201 @@
+// Package logscape discovers dependency models of distributed systems by
+// mining centralized logs. It is a complete, self-contained implementation
+// of the three techniques of Steinle, Aberer, Girdzijauskas and Lovis,
+// "Mapping Moving Landscapes by Mining Mountains of Logs: Novel Techniques
+// for Dependency Model Generation" (VLDB 2006), together with the
+// evaluation environment of the paper's case study.
+//
+// # Techniques
+//
+//   - L1 — logs as an activity measure (§3.1): for every application pair,
+//     a robust order-statistics test compares the distance of one
+//     application's log timestamps to the nearest log of the other against
+//     uniformly random points, locally per time slot. Requires only
+//     (source, timestamp) — works on virtually any log stream.
+//   - L2 — co-occurrence statistics over user sessions (§3.2): adjacent-log
+//     bigrams within reconstructed user sessions are tested for association
+//     with Dunning's log-likelihood ratio, as in collocation extraction.
+//     Requires user/host fields for session creation.
+//   - L3 — free-text analysis against a service directory (§3.3): citations
+//     of directory entries in log messages directly yield application →
+//     service dependencies; stop patterns suppress server-side echoes.
+//     The most precise of the three wherever a service directory exists.
+//
+// The delay-histogram technique of Agrawal et al., the closest related
+// work, is provided as a baseline in the same interface.
+//
+// # Layout
+//
+// The facade re-exports the main entry points; the implementation lives in
+// the internal packages:
+//
+//	internal/logmodel   log entries, wire format, store
+//	internal/stats      order-statistic CIs, G², Wilcoxon, regression, ...
+//	internal/pointproc  nearest-distance, Poisson processes, sampling
+//	internal/textproc   Aho–Corasick matching, tokenizer, SLCT clustering
+//	internal/directory  service directory (XML), citation scanner
+//	internal/sessions   user-session creation
+//	internal/core       dependency-model vocabulary; l1, l2, l3 miners
+//	internal/baseline   Agrawal et al. delay-histogram baseline
+//	internal/hospital   the simulated HUG environment (ground truth)
+//	internal/eval       the paper's §4 experiments (tables 1–2, figures 1–9)
+//
+// # Quick start
+//
+// Parse a log stream, load the service directory, and mine:
+//
+//	store, _ := logscape.ReadLogs(file)
+//	dir, _ := logscape.ReadDirectory(xmlFile)
+//	miner := logscape.NewL3Miner(dir, logscape.L3Config{})
+//	deps := miner.Mine(store, logscape.TimeRange{}).Dependencies()
+//
+// See examples/ for complete programs and cmd/ for the command-line tools.
+package logscape
+
+import (
+	"io"
+
+	"logscape/internal/baseline"
+	"logscape/internal/core"
+	"logscape/internal/core/l1"
+	"logscape/internal/core/l2"
+	"logscape/internal/core/l3"
+	"logscape/internal/depgraph"
+	"logscape/internal/directory"
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+)
+
+// Log-model types.
+type (
+	// Entry is one log message (timestamp, source, host, user, severity,
+	// free text).
+	Entry = logmodel.Entry
+	// Store is an in-memory, time-ordered log collection with the indexes
+	// the miners need.
+	Store = logmodel.Store
+	// TimeRange is a half-open interval of Millis.
+	TimeRange = logmodel.TimeRange
+	// Millis is a timestamp in milliseconds since the Unix epoch.
+	Millis = logmodel.Millis
+	// Severity is a log level.
+	Severity = logmodel.Severity
+)
+
+// Dependency-model types.
+type (
+	// Pair is an unordered application pair (the element of L1/L2 models).
+	Pair = core.Pair
+	// AppServicePair is a directed application → service dependency (the
+	// element of L3 models).
+	AppServicePair = core.AppServicePair
+	// PairSet is a set of application pairs.
+	PairSet = core.PairSet
+	// AppServiceSet is a set of application → service dependencies.
+	AppServiceSet = core.AppServiceSet
+	// Confusion compares a mined model against a reference model.
+	Confusion = core.Confusion
+)
+
+// Technique configurations and results.
+type (
+	// L1Config parameterizes the activity-measure miner.
+	L1Config = l1.Config
+	// L1Result is the mined model of approach L1.
+	L1Result = l1.Result
+	// L2Config parameterizes the session co-occurrence miner.
+	L2Config = l2.Config
+	// L2Result is the mined model of approach L2.
+	L2Result = l2.Result
+	// L3Config parameterizes the free-text citation miner.
+	L3Config = l3.Config
+	// L3Result is the mined model of approach L3.
+	L3Result = l3.Result
+	// L3Miner is a reusable L3 miner bound to one service directory.
+	L3Miner = l3.Miner
+	// BaselineConfig parameterizes the Agrawal et al. delay-histogram
+	// baseline.
+	BaselineConfig = baseline.Config
+	// BaselineResult is the baseline's mined model.
+	BaselineResult = baseline.Result
+)
+
+// Session types.
+type (
+	// Session is one reconstructed user session.
+	Session = sessions.Session
+	// SessionConfig parameterizes session creation.
+	SessionConfig = sessions.Config
+	// SessionStats summarizes a session-creation run.
+	SessionStats = sessions.Stats
+)
+
+// Directory types.
+type (
+	// Directory is a service directory document.
+	Directory = directory.Directory
+	// ServiceGroup is one directory entry.
+	ServiceGroup = directory.Group
+	// StopPattern suppresses server-side logs in L3.
+	StopPattern = directory.StopPattern
+)
+
+// Graph is a directed dependency graph built from a mined model, offering
+// the §1.1 applications: impact prediction, root-cause candidate sets,
+// criticality ranking, topological layering and cycle detection.
+type Graph = depgraph.Graph
+
+// GraphFromDeps builds a dependency graph from an application→service
+// model, resolving groups to their owning applications.
+func GraphFromDeps(deps AppServiceSet, owners map[string]string) *Graph {
+	return depgraph.FromDeps(deps, owners)
+}
+
+// GraphFromPairs builds an undirected dependency graph approximation from a
+// pair model (L1/L2 do not discover direction).
+func GraphFromPairs(pairs PairSet) *Graph { return depgraph.FromPairs(pairs) }
+
+// MakePair returns the normalized unordered pair of two application names.
+func MakePair(a, b string) Pair { return core.MakePair(a, b) }
+
+// ReadLogs reads a wire-format log stream into a sorted store.
+func ReadLogs(r io.Reader) (*Store, error) { return logmodel.ReadAll(r) }
+
+// WriteLogs writes a store to w in wire format.
+func WriteLogs(w io.Writer, s *Store) error { return logmodel.WriteAll(w, s) }
+
+// ReadDirectory reads and validates a service-directory XML document.
+func ReadDirectory(r io.Reader) (*Directory, error) { return directory.Read(r) }
+
+// MineL1 runs approach L1 over the given time range of the store. sources
+// nil means all sources in the store.
+func MineL1(store *Store, r TimeRange, sources []string, cfg L1Config) *L1Result {
+	return l1.Mine(store, r, sources, cfg)
+}
+
+// BuildSessions reconstructs the user sessions of a sorted store.
+func BuildSessions(store *Store, cfg SessionConfig) ([]Session, SessionStats) {
+	return sessions.Build(store, cfg)
+}
+
+// MineL2 runs approach L2 over a session corpus.
+func MineL2(ss []Session, cfg L2Config) *L2Result { return l2.Mine(ss, cfg) }
+
+// NewL3Miner builds a reusable L3 miner for a service directory.
+func NewL3Miner(dir *Directory, cfg L3Config) *L3Miner { return l3.NewMiner(dir, cfg) }
+
+// MineBaseline runs the Agrawal et al. delay-histogram baseline.
+func MineBaseline(store *Store, r TimeRange, sources []string, cfg BaselineConfig) *BaselineResult {
+	return baseline.Mine(store, r, sources, cfg)
+}
+
+// ComparePairs scores a mined pair set against a reference model over a
+// universe of possible pairs.
+func ComparePairs(predicted, truth PairSet, universe int) Confusion {
+	return core.ComparePairs(predicted, truth, universe)
+}
+
+// CompareAppService scores mined dependencies against a reference model.
+func CompareAppService(predicted, truth AppServiceSet, universe int) Confusion {
+	return core.CompareAppService(predicted, truth, universe)
+}

@@ -1,0 +1,111 @@
+package logscape
+
+import (
+	"logscape/internal/hospital"
+	"logscape/internal/logmodel"
+)
+
+// Testbed is the simulated hospital-information-system environment used by
+// the paper's case study: a generated topology of applications and service
+// groups with a known ground-truth dependency graph, and a workload
+// generator producing a realistic centralized log stream (user sessions,
+// synchronous/asynchronous call trees, clock skew, free-text noise).
+//
+// It stands in for proprietary production logs: generate a period, mine it
+// with the three techniques, and score the results against the ground
+// truth. All output is deterministic for a given seed.
+type Testbed struct {
+	sim  *hospital.Simulator
+	topo *hospital.Topology
+}
+
+// NewTestbed creates a testbed. scale 1 reproduces a 1/100-volume replica
+// of the paper's test week (roughly 100k log entries per weekday); days is
+// the simulated period length (7 gives the Tue Dec 6 – Mon Dec 12 2005 week
+// of table 1).
+func NewTestbed(seed int64, scale float64, days int) *Testbed {
+	topo := hospital.GenerateTopology(hospital.DefaultTopologyConfig(), seed)
+	cfg := hospital.DefaultConfig(seed)
+	if scale > 0 {
+		cfg.Scale = scale
+	}
+	if days > 0 {
+		cfg.Days = days
+	}
+	return &Testbed{sim: hospital.NewSimulator(cfg, topo), topo: topo}
+}
+
+// Days returns the number of simulated days.
+func (t *Testbed) Days() int { return t.sim.Config().Days }
+
+// Day generates the log stream of the i-th day (sorted store).
+func (t *Testbed) Day(i int) *Store {
+	store, _ := t.sim.GenerateDay(i)
+	return store
+}
+
+// DayRange returns the time range of the i-th day.
+func (t *Testbed) DayRange(i int) TimeRange { return t.sim.DayRange(i) }
+
+// IsWeekend reports whether the i-th day falls on a weekend.
+func (t *Testbed) IsWeekend(i int) bool { return t.sim.IsWeekend(i) }
+
+// Directory returns the environment's service directory.
+func (t *Testbed) Directory() *Directory { return t.topo.Directory() }
+
+// StopPatterns returns the canonical ten stop patterns matching the
+// environment's server-side log formats (§4.8 mines "with 10 stop
+// patterns").
+func (t *Testbed) StopPatterns() []StopPattern { return hospital.CanonicalStopPatterns() }
+
+// TruePairs returns the app–app reference model (the paper's first
+// reference model: unordered pairs of directly interacting applications).
+func (t *Testbed) TruePairs() PairSet {
+	out := make(PairSet)
+	for p := range t.topo.TrueAppPairs() {
+		out[p] = true
+	}
+	return out
+}
+
+// TrueDeps returns the app→service reference model.
+func (t *Testbed) TrueDeps() AppServiceSet {
+	out := make(AppServiceSet)
+	for p := range t.topo.TrueAppServicePairs() {
+		out[p] = true
+	}
+	return out
+}
+
+// Apps returns the application names of the environment.
+func (t *Testbed) Apps() []string { return t.topo.AppNames() }
+
+// GroupOwners maps every service-group id to the application implementing
+// it (useful for converting app→service dependencies into app pairs).
+func (t *Testbed) GroupOwners() map[string]string {
+	out := make(map[string]string, len(t.topo.Groups))
+	for _, g := range t.topo.Groups {
+		out[g.ID] = g.Owner
+	}
+	return out
+}
+
+// PairUniverse returns the number of possible application pairs.
+func (t *Testbed) PairUniverse() int {
+	n := len(t.topo.Apps)
+	return n * (n - 1) / 2
+}
+
+// DepUniverse returns the number of possible app→service dependencies.
+func (t *Testbed) DepUniverse() int {
+	return len(t.topo.Apps) * len(t.topo.Groups)
+}
+
+// MillisPerSecond, MillisPerHour and MillisPerDay are re-exported time
+// units of the log model.
+const (
+	MillisPerSecond = logmodel.MillisPerSecond
+	MillisPerMinute = logmodel.MillisPerMinute
+	MillisPerHour   = logmodel.MillisPerHour
+	MillisPerDay    = logmodel.MillisPerDay
+)
