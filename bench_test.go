@@ -251,6 +251,69 @@ func BenchmarkBaselineMineHour(b *testing.B) {
 	}
 }
 
+// --- Parallel mining engine benchmarks (internal/parallel) ------------------
+//
+// Sequential/Parallel pairs A/B the Workers knob of each miner: Workers: 1
+// is the exact sequential path, Workers: 0 fans out over GOMAXPROCS via
+// internal/parallel. On a 4+ core machine the parallel variants should show
+// a ≥2× speedup; results are bit-identical either way (determinism_test.go).
+
+func benchmarkL1Workers(b *testing.B, workers int) {
+	r := benchSetup(b)
+	cfg := r.Opts.L1
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l1.Mine(r.Stores[0], r.Sim.DayRange(0), r.AppNames(), cfg)
+	}
+}
+
+func BenchmarkL1Sequential(b *testing.B) { benchmarkL1Workers(b, 1) }
+func BenchmarkL1Parallel(b *testing.B)   { benchmarkL1Workers(b, 0) }
+
+func benchmarkL2Workers(b *testing.B, workers int) {
+	r := benchSetup(b)
+	ss, _ := r.SessionsOfDay(0)
+	cfg := r.Opts.L2
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2.Mine(ss, cfg)
+	}
+}
+
+func BenchmarkL2Sequential(b *testing.B) { benchmarkL2Workers(b, 1) }
+func BenchmarkL2Parallel(b *testing.B)   { benchmarkL2Workers(b, 0) }
+
+func benchmarkL3Workers(b *testing.B, workers int) {
+	r := benchSetup(b)
+	m := l3.NewMiner(r.Dir, l3.Config{Stops: r.Opts.Stops, Workers: workers})
+	store := r.Stores[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mine(store, logmodel.TimeRange{})
+	}
+	b.ReportMetric(float64(store.Len()*b.N)/b.Elapsed().Seconds(), "entries/s")
+}
+
+func BenchmarkL3Sequential(b *testing.B) { benchmarkL3Workers(b, 1) }
+func BenchmarkL3Parallel(b *testing.B)   { benchmarkL3Workers(b, 0) }
+
+func benchmarkBaselineWorkers(b *testing.B, workers int) {
+	r := benchSetup(b)
+	hr := logmodel.TimeRange{
+		Start: r.Sim.DayRange(0).Start + 10*logmodel.MillisPerHour,
+		End:   r.Sim.DayRange(0).Start + 11*logmodel.MillisPerHour,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.Mine(r.Stores[0], hr, nil, baseline.Config{Workers: workers})
+	}
+}
+
+func BenchmarkBaselineSequential(b *testing.B) { benchmarkBaselineWorkers(b, 1) }
+func BenchmarkBaselineParallel(b *testing.B)   { benchmarkBaselineWorkers(b, 0) }
+
 // --- Ablation benchmarks (DESIGN.md §5) -------------------------------------
 
 // ablationL1 runs L1 on day 0 with the given config and reports TP/FP.

@@ -18,6 +18,8 @@
 //	-minlogs N      L1 per-slot minimum log count (default 10)
 //	-nostops        L3: disable the canonical stop patterns
 //	-direction      L2: print the §5 direction heuristic for mined pairs
+//	-workers N      mining parallelism for every method (0 = all cores,
+//	                1 = sequential); results are identical for any N
 package main
 
 import (
@@ -49,20 +51,21 @@ func main() {
 	minlogs := flag.Int("minlogs", 10, "L1 per-slot minimum log count")
 	nostops := flag.Bool("nostops", false, "L3: disable the canonical stop patterns")
 	direction := flag.Bool("direction", false, "L2: print direction hints for mined pairs")
+	workers := flag.Int("workers", 0, "mining parallelism: 0 = all cores, 1 = sequential (results are identical for any value)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "depmine: at least one log file is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*method, *dirPath, *truthPath, *dotPath, *jsonPath, *impact, *timeout, *minlogs, *nostops, *direction, flag.Args()); err != nil {
+	if err := run(*method, *dirPath, *truthPath, *dotPath, *jsonPath, *impact, *timeout, *minlogs, *workers, *nostops, *direction, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "depmine:", err)
 		os.Exit(1)
 	}
 }
 
 func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout float64,
-	minlogs int, nostops, direction bool, files []string) error {
+	minlogs, workers int, nostops, direction bool, files []string) error {
 
 	store, err := loadLogs(files)
 	if err != nil {
@@ -76,7 +79,7 @@ func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout f
 	var deps core.AppServiceSet
 	switch method {
 	case "l1":
-		res := l1.Mine(store, span, nil, l1.Config{MinLogs: minlogs})
+		res := l1.Mine(store, span, nil, l1.Config{MinLogs: minlogs, Workers: workers})
 		pairs = res.DependentPairs()
 	case "l2":
 		ss, stats := sessions.Build(store, sessions.Config{})
@@ -86,7 +89,7 @@ func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout f
 		if timeout == 0 {
 			to = l2.NoTimeout
 		}
-		res := l2.Mine(ss, l2.Config{Timeout: to})
+		res := l2.Mine(ss, l2.Config{Timeout: to, Workers: workers})
 		pairs = res.DependentPairs()
 		if direction {
 			for p, h := range l2.DirectionHints(ss, pairs, to) {
@@ -111,13 +114,13 @@ func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout f
 		if err != nil {
 			return err
 		}
-		cfg := l3.Config{}
+		cfg := l3.Config{Workers: workers}
 		if !nostops {
 			cfg.Stops = hospital.CanonicalStopPatterns()
 		}
 		deps = l3.NewMiner(dir, cfg).Mine(store, logmodel.TimeRange{}).Dependencies()
 	case "baseline":
-		res := baseline.Mine(store, span, nil, baseline.Config{})
+		res := baseline.Mine(store, span, nil, baseline.Config{Workers: workers})
 		pairs = res.DependentPairs()
 	default:
 		return fmt.Errorf("unknown method %q", method)

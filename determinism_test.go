@@ -1,0 +1,155 @@
+package logscape_test
+
+// Worker-count equivalence tests: the determinism contract of
+// internal/parallel says every miner must produce bit-identical results at
+// Workers: 1 (the exact sequential path) and Workers: 8 (sharded fan-out).
+// Each test compares the full result structures with reflect.DeepEqual and
+// the serialized model documents byte for byte.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"logscape"
+	"logscape/internal/baseline"
+	"logscape/internal/core"
+	"logscape/internal/core/l2"
+)
+
+// serializePairs renders a pair set as a canonical model document.
+func serializePairs(t *testing.T, technique string, s logscape.PairSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.WriteModel(&buf, core.NewPairDocument(technique, s, nil)); err != nil {
+		t.Fatalf("serialize %s: %v", technique, err)
+	}
+	return buf.Bytes()
+}
+
+// serializeDeps renders a dependency set as a canonical model document.
+func serializeDeps(t *testing.T, technique string, s logscape.AppServiceSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.WriteModel(&buf, core.NewDepDocument(technique, s, nil)); err != nil {
+		t.Fatalf("serialize %s: %v", technique, err)
+	}
+	return buf.Bytes()
+}
+
+func requireSameBytes(t *testing.T, what string, seq, par []byte) {
+	t.Helper()
+	if !bytes.Equal(seq, par) {
+		t.Errorf("%s: serialized models differ between Workers:1 and Workers:8\nseq: %s\npar: %s", what, seq, par)
+	}
+}
+
+func TestL1WorkerEquivalence(t *testing.T) {
+	tb := logscape.NewTestbed(11, 0.1, 1)
+	store := tb.Day(0)
+	cfg := logscape.L1Config{MinLogs: 8, Seed: 11}
+
+	cfg.Workers = 1
+	seq := logscape.MineL1(store, tb.DayRange(0), tb.Apps(), cfg)
+	cfg.Workers = 8
+	par := logscape.MineL1(store, tb.DayRange(0), tb.Apps(), cfg)
+
+	if !reflect.DeepEqual(seq.Pairs, par.Pairs) {
+		t.Error("L1 pair results differ between Workers:1 and Workers:8")
+	}
+	requireSameBytes(t, "l1",
+		serializePairs(t, "l1", seq.DependentPairs()),
+		serializePairs(t, "l1", par.DependentPairs()))
+}
+
+func TestL2WorkerEquivalence(t *testing.T) {
+	tb := logscape.NewTestbed(11, 0.2, 1)
+	ss, _ := logscape.BuildSessions(tb.Day(0), logscape.SessionConfig{})
+	if len(ss) == 0 {
+		t.Fatal("no sessions to mine")
+	}
+
+	seq := logscape.MineL2(ss, logscape.L2Config{Workers: 1})
+	par := logscape.MineL2(ss, logscape.L2Config{Workers: 8})
+
+	if !reflect.DeepEqual(seq.Types, par.Types) {
+		t.Error("L2 type results differ between Workers:1 and Workers:8")
+	}
+	if !reflect.DeepEqual(seq.Counts, par.Counts) {
+		t.Error("L2 bigram counts differ between Workers:1 and Workers:8")
+	}
+	requireSameBytes(t, "l2",
+		serializePairs(t, "l2", seq.DependentPairs()),
+		serializePairs(t, "l2", par.DependentPairs()))
+}
+
+func TestL2CountBigramsParallelEquivalence(t *testing.T) {
+	tb := logscape.NewTestbed(11, 0.2, 1)
+	ss, _ := logscape.BuildSessions(tb.Day(0), logscape.SessionConfig{})
+	want := l2.CountBigrams(ss, logscape.MillisPerSecond)
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got := l2.CountBigramsParallel(ss, logscape.MillisPerSecond, workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: merged bigram counts differ from sequential", workers)
+		}
+	}
+}
+
+func TestL3WorkerEquivalence(t *testing.T) {
+	tb := logscape.NewTestbed(11, 0.1, 1)
+	store := tb.Day(0)
+
+	seq := logscape.NewL3Miner(tb.Directory(), logscape.L3Config{
+		Stops: tb.StopPatterns(), Owner: tb.GroupOwners(), Workers: 1,
+	}).Mine(store, logscape.TimeRange{})
+	par := logscape.NewL3Miner(tb.Directory(), logscape.L3Config{
+		Stops: tb.StopPatterns(), Owner: tb.GroupOwners(), Workers: 8,
+	}).Mine(store, logscape.TimeRange{})
+
+	if !reflect.DeepEqual(seq.Evidence, par.Evidence) {
+		t.Error("L3 citation evidence differs between Workers:1 and Workers:8")
+	}
+	requireSameBytes(t, "l3",
+		serializeDeps(t, "l3", seq.Dependencies()),
+		serializeDeps(t, "l3", par.Dependencies()))
+}
+
+func TestBaselineWorkerEquivalence(t *testing.T) {
+	tb := logscape.NewTestbed(11, 0.2, 1)
+	store := tb.Day(0)
+	hour := logscape.TimeRange{
+		Start: tb.DayRange(0).Start + 10*logscape.MillisPerHour,
+		End:   tb.DayRange(0).Start + 11*logscape.MillisPerHour,
+	}
+
+	seq := logscape.MineBaseline(store, hour, tb.Apps(), logscape.BaselineConfig{Workers: 1})
+	par := logscape.MineBaseline(store, hour, tb.Apps(), logscape.BaselineConfig{Workers: 8})
+
+	if !reflect.DeepEqual(seq.Ordered, par.Ordered) {
+		t.Error("baseline ordered-pair results differ between Workers:1 and Workers:8")
+	}
+	if !reflect.DeepEqual(seq.DirectedDependencies(), par.DirectedDependencies()) {
+		t.Error("baseline directed dependencies differ between Workers:1 and Workers:8")
+	}
+	requireSameBytes(t, "baseline",
+		serializePairs(t, "baseline", seq.DependentPairs()),
+		serializePairs(t, "baseline", par.DependentPairs()))
+}
+
+// TestBaselineWorkerEquivalenceInternal exercises the internal package
+// directly across a wider worker sweep than the facade test.
+func TestBaselineWorkerEquivalenceInternal(t *testing.T) {
+	tb := logscape.NewTestbed(11, 0.1, 1)
+	store := tb.Day(0)
+	hour := logscape.TimeRange{
+		Start: tb.DayRange(0).Start + 9*logscape.MillisPerHour,
+		End:   tb.DayRange(0).Start + 10*logscape.MillisPerHour,
+	}
+	want := baseline.Mine(store, hour, nil, baseline.Config{Workers: 1})
+	for _, workers := range []int{2, 3, 5, 16} {
+		got := baseline.Mine(store, hour, nil, baseline.Config{Workers: workers})
+		if !reflect.DeepEqual(want.Ordered, got.Ordered) {
+			t.Errorf("workers=%d: results differ from sequential", workers)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"logscape/internal/core"
 	"logscape/internal/logmodel"
+	"logscape/internal/parallel"
 	"logscape/internal/pointproc"
 	"logscape/internal/stats"
 )
@@ -41,6 +42,11 @@ type Config struct {
 	// MaxSamples caps the number of source events examined per pair
 	// (default 5000, to bound cost on high-volume pairs).
 	MaxSamples int
+	// Workers bounds the mining parallelism (candidate ordered pairs fan
+	// out over a worker pool for delay-histogram construction): 0 selects
+	// GOMAXPROCS, 1 forces the exact sequential path. Results are
+	// identical for every setting.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -155,29 +161,35 @@ func TestPair(from, to string, a, b []logmodel.Millis, cfg Config) PairResult {
 }
 
 // Mine runs the baseline over the given time range of the store for the
-// listed sources (all store sources when nil).
+// listed sources (all store sources when nil). Candidate ordered pairs are
+// enumerated in source order and fanned out over Config.Workers workers;
+// TestPair is deterministic, so the result is identical for every worker
+// count.
 func Mine(store *logmodel.Store, r logmodel.TimeRange, sources []string, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	if sources == nil {
 		sources = store.Sources()
 	}
 	idx := store.SourceIndexRange(r)
-	res := &Result{Ordered: make(map[[2]string]PairResult), Config: cfg}
+	var cands [][2]string
 	for _, from := range sources {
-		a := idx[from]
-		if len(a) == 0 {
+		if len(idx[from]) == 0 {
 			continue
 		}
 		for _, to := range sources {
-			if from == to {
+			if from == to || len(idx[to]) == 0 {
 				continue
 			}
-			b := idx[to]
-			if len(b) == 0 {
-				continue
-			}
-			res.Ordered[[2]string{from, to}] = TestPair(from, to, a, b, cfg)
+			cands = append(cands, [2]string{from, to})
 		}
+	}
+	results := parallel.Map(parallel.Workers(cfg.Workers), len(cands), func(i int) PairResult {
+		c := cands[i]
+		return TestPair(c[0], c[1], idx[c[0]], idx[c[1]], cfg)
+	})
+	res := &Result{Ordered: make(map[[2]string]PairResult, len(cands)), Config: cfg}
+	for i, c := range cands {
+		res.Ordered[c] = results[i]
 	}
 	return res
 }

@@ -24,13 +24,11 @@ import (
 	"hash/fnv"
 	"io"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"logscape/internal/core"
 	"logscape/internal/logmodel"
+	"logscape/internal/parallel"
 	"logscape/internal/pointproc"
 	"logscape/internal/stats"
 )
@@ -109,6 +107,10 @@ type Config struct {
 	ReferenceJitter logmodel.Millis
 	// Seed drives the random sampling.
 	Seed int64
+	// Workers bounds the slot-level mining parallelism: 0 selects
+	// GOMAXPROCS, 1 forces the exact sequential path (for A/B testing).
+	// Results are bit-identical for every setting.
+	Workers int
 }
 
 // withDefaults fills zero fields with the paper's settings.
@@ -341,8 +343,8 @@ func EqualCountSlots(store *logmodel.Store, r logmodel.TimeRange, n int) []logmo
 
 // Mine runs approach L1 over the given time range of the store. Sources
 // lists the applications to consider (all store sources when nil). Slots
-// are processed in parallel; results are deterministic for a fixed
-// Config.Seed regardless of scheduling.
+// are processed in parallel (Config.Workers); results are deterministic
+// for a fixed Config.Seed regardless of worker count or scheduling.
 func Mine(store *logmodel.Store, r logmodel.TimeRange, sources []string, cfg Config) *Result {
 	return MineSlots(store, r.Split(cfg.withDefaults().SlotWidth), sources, cfg)
 }
@@ -368,57 +370,38 @@ func MineSlots(store *logmodel.Store, slots []logmodel.TimeRange, sources []stri
 		pair     core.Pair
 		positive bool
 	}
-	outcomes := make([][]slotOutcome, len(slots))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(slots) {
-		workers = len(slots)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				si := int(atomic.AddInt64(&next, 1)) - 1
-				if si >= len(slots) {
-					return
-				}
-				slot := slots[si]
-				idx := store.SourceIndexRange(slot)
-				var eligible []string
-				for _, s := range sources {
-					if len(idx[s]) >= cfg.MinLogs {
-						eligible = append(eligible, s)
-					}
-				}
-				var total []logmodel.Millis
-				if cfg.Reference == RefTotalActivity {
-					entries := store.Range(slot)
-					total = make([]logmodel.Millis, len(entries))
-					for k := range entries {
-						total[k] = entries[k].Time
-					}
-				}
-				var out []slotOutcome
-				for i := range eligible {
-					for j := i + 1; j < len(eligible); j++ {
-						p := core.MakePair(eligible[i], eligible[j])
-						rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, si, p)))
-						out = append(out, slotOutcome{
-							pair:     p,
-							positive: SlotTestRef(rng, idx[p.A], idx[p.B], total, slot, cfg),
-						})
-					}
-				}
-				outcomes[si] = out
+	// Fan the slots out over the shared worker pool; outcome positions are
+	// fixed by slot index, so the merge below is scheduling-independent.
+	outcomes := parallel.Map(parallel.Workers(cfg.Workers), len(slots), func(si int) []slotOutcome {
+		slot := slots[si]
+		idx := store.SourceIndexRange(slot)
+		var eligible []string
+		for _, s := range sources {
+			if len(idx[s]) >= cfg.MinLogs {
+				eligible = append(eligible, s)
 			}
-		}()
-	}
-	wg.Wait()
+		}
+		var total []logmodel.Millis
+		if cfg.Reference == RefTotalActivity {
+			entries := store.Range(slot)
+			total = make([]logmodel.Millis, len(entries))
+			for k := range entries {
+				total[k] = entries[k].Time
+			}
+		}
+		var out []slotOutcome
+		for i := range eligible {
+			for j := i + 1; j < len(eligible); j++ {
+				p := core.MakePair(eligible[i], eligible[j])
+				rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, si, p)))
+				out = append(out, slotOutcome{
+					pair:     p,
+					positive: SlotTestRef(rng, idx[p.A], idx[p.B], total, slot, cfg),
+				})
+			}
+		}
+		return out
+	})
 
 	for _, out := range outcomes {
 		for _, o := range out {

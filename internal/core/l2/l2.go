@@ -19,8 +19,11 @@
 package l2
 
 import (
+	"sort"
+
 	"logscape/internal/core"
 	"logscape/internal/logmodel"
+	"logscape/internal/parallel"
 	"logscape/internal/sessions"
 	"logscape/internal/stats"
 )
@@ -61,6 +64,12 @@ type Config struct {
 	MinJoint float64
 	// Measure selects the association statistic (default MeasureG2).
 	Measure Measure
+	// Workers bounds the mining parallelism (session sharding for bigram
+	// counting and the per-type association pass): 0 selects GOMAXPROCS, 1
+	// forces the exact sequential path. Results are identical for every
+	// setting: all bigram counts are integers, so the shard-ordered merge
+	// of partial contingency tables is exact.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +135,34 @@ func CountBigrams(ss []sessions.Session, timeout logmodel.Millis) *Counts {
 	return c
 }
 
+// CountBigramsParallel is CountBigrams over session shards: each of up to
+// workers shards tallies its contiguous sub-slice of sessions, and the
+// partial counts are summed in shard order. Counts are integer-valued, so
+// the merged result equals the sequential one exactly; workers ≤ 1 runs
+// CountBigrams unchanged.
+func CountBigramsParallel(ss []sessions.Session, timeout logmodel.Millis, workers int) *Counts {
+	parts := parallel.MapShards(workers, len(ss), func(lo, hi int) *Counts {
+		return CountBigrams(ss[lo:hi], timeout)
+	})
+	if len(parts) == 0 {
+		return CountBigrams(nil, timeout)
+	}
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		for b, n := range p.Joint {
+			merged.Joint[b] += n
+		}
+		for s, n := range p.First {
+			merged.First[s] += n
+		}
+		for s, n := range p.Second {
+			merged.Second[s] += n
+		}
+		merged.Total += p.Total
+	}
+	return merged
+}
+
 // Table builds the 2×2 contingency table of a bigram type (figure 4 of the
 // paper): O11 counts bigrams (A, B), O12 bigrams (A, ¬B), O21 (¬A, B), O22
 // the rest.
@@ -176,36 +213,56 @@ func (r *Result) DependentPairs() core.PairSet {
 	return out
 }
 
-// Mine runs approach L2 over the session corpus.
+// Mine runs approach L2 over the session corpus. Sessions are sharded for
+// bigram counting and the per-type association tests fan out over the same
+// worker pool; results are identical for every Config.Workers setting.
 func Mine(ss []sessions.Session, cfg Config) *Result {
 	cfg = cfg.withDefaults()
-	counts := CountBigrams(ss, cfg.Timeout)
+	workers := parallel.Workers(cfg.Workers)
+	counts := CountBigramsParallel(ss, cfg.Timeout, workers)
 	res := &Result{Types: make(map[Bigram]TypeResult), Counts: counts, Config: cfg}
+	types := make([]Bigram, 0, len(counts.Joint))
 	for t := range counts.Joint {
-		tab := counts.Table(t)
-		tr := TypeResult{
-			Type:     t,
-			Table:    tab,
-			Positive: stats.PositiveAssociation(tab),
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		if types[i].First != types[j].First {
+			return types[i].First < types[j].First
 		}
-		switch cfg.Measure {
-		case MeasurePearson:
-			tr.Statistic = stats.PearsonX2(tab)
-			tr.PValue = stats.ChiSquaredSF(tr.Statistic, 1)
-		case MeasureFisher:
-			one, _ := stats.FisherExact(tab)
-			// The exact test is inherently one-sided toward attraction; use
-			// the p-value directly and record it as the statistic's stand-in.
-			tr.PValue = one
-			tr.Statistic = -one
-		default:
-			tr.Statistic = stats.LogLikelihoodG2(tab)
-			tr.PValue = stats.ChiSquaredSF(tr.Statistic, 1)
-		}
-		tr.Significant = tr.Positive && tab.O11 >= cfg.MinJoint && tr.PValue < cfg.Alpha
-		res.Types[t] = tr
+		return types[i].Second < types[j].Second
+	})
+	for _, tr := range parallel.Map(workers, len(types), func(i int) TypeResult {
+		return testType(counts, types[i], cfg)
+	}) {
+		res.Types[tr.Type] = tr
 	}
 	return res
+}
+
+// testType runs the configured association test on one bigram type.
+func testType(counts *Counts, t Bigram, cfg Config) TypeResult {
+	tab := counts.Table(t)
+	tr := TypeResult{
+		Type:     t,
+		Table:    tab,
+		Positive: stats.PositiveAssociation(tab),
+	}
+	switch cfg.Measure {
+	case MeasurePearson:
+		tr.Statistic = stats.PearsonX2(tab)
+		tr.PValue = stats.ChiSquaredSF(tr.Statistic, 1)
+	case MeasureFisher:
+		one, _ := stats.FisherExact(tab)
+		// The exact test is inherently one-sided toward attraction; use
+		// the p-value directly and record it as the statistic's stand-in.
+		tr.PValue = one
+		tr.Statistic = -one
+	default:
+		tr.Statistic = stats.LogLikelihoodG2(tab)
+		tr.PValue = stats.ChiSquaredSF(tr.Statistic, 1)
+	}
+	tr.Significant = tr.Positive && tab.O11 >= cfg.MinJoint && tr.PValue < cfg.Alpha
+	return tr
 }
 
 // DirectionHint is the §5 heuristic's evidence for one dependent pair.

@@ -15,6 +15,7 @@ import (
 	"logscape/internal/core"
 	"logscape/internal/directory"
 	"logscape/internal/logmodel"
+	"logscape/internal/parallel"
 )
 
 // Config parameterizes the miner.
@@ -35,6 +36,12 @@ type Config struct {
 	// Owner maps a group id to the application owning it; used to exclude
 	// self-citations. May be nil when SelfCitations is true.
 	Owner map[string]string
+	// Workers bounds the scanning parallelism: the store's entry range is
+	// cut into contiguous shards, each scanned by one worker, and the
+	// per-shard citation evidence is merged in time (shard) order. 0
+	// selects GOMAXPROCS, 1 forces the exact sequential path. Results are
+	// identical for every setting.
+	Workers int
 }
 
 // Evidence is the citation evidence for one mined dependency.
@@ -93,13 +100,33 @@ func NewMiner(dir *directory.Directory, cfg Config) *Miner {
 }
 
 // Mine scans all entries of the store (restricted to r when r is non-zero)
-// and returns the mined model.
+// and returns the mined model. The entry range is sharded across
+// Config.Workers workers (the citation automaton is a read-only DFA, shared
+// by all of them) and the per-shard evidence is merged in time order, so
+// the result is identical for every worker count.
 func (m *Miner) Mine(store *logmodel.Store, r logmodel.TimeRange) *Result {
 	entries := store.Entries()
 	if r != (logmodel.TimeRange{}) {
 		entries = store.Range(r)
 	}
 	res := &Result{Evidence: make(map[core.AppServicePair]*Evidence), Config: m.cfg}
+	parts := parallel.MapShards(parallel.Workers(m.cfg.Workers), len(entries),
+		func(lo, hi int) map[core.AppServicePair]*Evidence {
+			return m.scan(entries[lo:hi])
+		})
+	if len(parts) == 1 {
+		res.Evidence = parts[0]
+		return res
+	}
+	for _, part := range parts {
+		mergeEvidence(res.Evidence, part)
+	}
+	return res
+}
+
+// scan runs the sequential citation scan over one contiguous entry shard.
+func (m *Miner) scan(entries []logmodel.Entry) map[core.AppServicePair]*Evidence {
+	out := make(map[core.AppServicePair]*Evidence)
 	for i := range entries {
 		e := &entries[i]
 		cits := m.scanner.Citations(e.Message)
@@ -112,10 +139,10 @@ func (m *Miner) Mine(store *logmodel.Store, r logmodel.TimeRange) *Result {
 				continue
 			}
 			p := core.AppServicePair{App: e.Source, Group: id}
-			ev := res.Evidence[p]
+			ev := out[p]
 			if ev == nil {
 				ev = &Evidence{Pair: p, First: e.Time, Last: e.Time}
-				res.Evidence[p] = ev
+				out[p] = ev
 			}
 			if stopped {
 				ev.Stopped++
@@ -128,7 +155,30 @@ func (m *Miner) Mine(store *logmodel.Store, r logmodel.TimeRange) *Result {
 			ev.Last = e.Time
 		}
 	}
-	return res
+	return out
+}
+
+// mergeEvidence folds the evidence of a later shard into dst. Invariant of
+// scan: when Count > 0, First/Last span the counted citations; when
+// Count == 0 (only stopped citations), First == Last == the first citation.
+// Folding shards in time order preserves exactly that invariant, so the
+// merged evidence matches a sequential scan field for field.
+func mergeEvidence(dst, src map[core.AppServicePair]*Evidence) {
+	for p, sv := range src {
+		dv := dst[p]
+		if dv == nil {
+			dst[p] = sv
+			continue
+		}
+		if sv.Count > 0 {
+			if dv.Count == 0 {
+				dv.First = sv.First
+			}
+			dv.Last = sv.Last
+		}
+		dv.Count += sv.Count
+		dv.Stopped += sv.Stopped
+	}
 }
 
 // OwnerMap builds the group → owner map for Config.Owner from parallel

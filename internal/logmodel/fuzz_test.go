@@ -1,0 +1,75 @@
+package logmodel
+
+// Native fuzz coverage for the wire-format parser, complementing the
+// testing/quick round-trip properties in wire_test.go. Seed corpora live
+// under testdata/fuzz/.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLogs feeds arbitrary byte streams to the wire-format reader. The
+// invariants: ReadAll never panics, and any stream it accepts round-trips —
+// writing the parsed store and reading it back reproduces every entry
+// exactly (timestamps normalize to millisecond UTC, messages through the
+// escape/unescape pair).
+func FuzzReadLogs(f *testing.F) {
+	f.Add("2005-12-06T08:00:00.000Z\tDPIFormidoc\thost1\tu17\tINFO\thello world")
+	f.Add("2005-12-06T08:00:00.000Z\tA\t\t\tDEBUG\ttabbed\\tmessage\n" +
+		"2005-12-06T08:00:01.500Z\tB\th\tu\tERROR\tline\\nbreak and back\\\\slash")
+	f.Add("2005-12-06T23:59:59.999+01:00\tApp2\thost\t\tWARN\toffset timestamp")
+	f.Add("\n\n2005-12-06T08:00:00.000Z\tX\th\tu\tINFO\tafter blank lines\n\n")
+	f.Add("not a log line")
+	f.Add("2005-12-06T08:00:00.000Z\tonly\tfive\tfields\tINFO")
+	f.Add("2005-12-06T08:00:02.000Z\tLate\th\tu\tINFO\tsecond\n" +
+		"2005-12-06T08:00:01.000Z\tEarly\th\tu\tINFO\tfirst")
+	f.Fuzz(func(t *testing.T, data string) {
+		store, err := ReadAll(strings.NewReader(data))
+		if err != nil {
+			return // malformed input is rejected, not a bug
+		}
+		if !store.Sorted() {
+			t.Fatal("ReadAll returned an unsorted store")
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, store); err != nil {
+			t.Fatalf("write parsed store: %v", err)
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("reparse serialized store: %v\nserialized:\n%s", err, buf.String())
+		}
+		if got.Len() != store.Len() {
+			t.Fatalf("round trip changed entry count: %d -> %d", store.Len(), got.Len())
+		}
+		for i := 0; i < store.Len(); i++ {
+			if got.At(i) != store.At(i) {
+				t.Fatalf("entry %d changed in round trip:\n was %+v\n now %+v",
+					i, store.At(i), got.At(i))
+			}
+		}
+	})
+}
+
+// FuzzParseEntry narrows the fuzz target to the single-line parser: a line
+// that parses must format back to a line that parses to the same entry.
+func FuzzParseEntry(f *testing.F) {
+	f.Add("2005-12-06T08:00:00.000Z\tDPIFormidoc\thost1\tu17\tINFO\thello")
+	f.Add("2005-12-06T08:00:00.000Z\tA\tB\tC\tERROR\t")
+	f.Add("x\ty\tz\tw\tINFO\tbad time")
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseEntry(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseEntry(FormatEntry(e))
+		if err != nil {
+			t.Fatalf("formatted entry does not reparse: %v\nline: %q", err, FormatEntry(e))
+		}
+		if again != e {
+			t.Fatalf("format/parse round trip changed entry:\n was %+v\n now %+v", e, again)
+		}
+	})
+}

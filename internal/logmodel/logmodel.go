@@ -155,22 +155,26 @@ func (r TimeRange) Days() int {
 // A Store is built by appending entries and then calling Sort (or by using
 // Append on already-ordered input, which keeps the store sorted cheaply).
 // The query methods require a sorted store and panic otherwise; this is a
-// programming error, not an input error.
+// programming error, not an input error. The zero value is a valid empty
+// store: an empty store is trivially sorted, so every miner invoked on it
+// (or on an empty TimeRange) returns an empty-but-valid result.
 type Store struct {
 	entries []Entry
-	sorted  bool
+	// unsorted records that an out-of-order Append happened since the last
+	// Sort. Inverted so the zero-value Store counts as sorted.
+	unsorted bool
 }
 
 // NewStore returns an empty store with the given capacity hint.
 func NewStore(capacity int) *Store {
-	return &Store{entries: make([]Entry, 0, capacity), sorted: true}
+	return &Store{entries: make([]Entry, 0, capacity)}
 }
 
 // Append adds an entry. Appending in non-decreasing time order keeps the
 // store sorted; out-of-order appends mark it unsorted until Sort is called.
 func (s *Store) Append(e Entry) {
 	if n := len(s.entries); n > 0 && e.Time < s.entries[n-1].Time {
-		s.sorted = false
+		s.unsorted = true
 	}
 	s.entries = append(s.entries, e)
 }
@@ -188,20 +192,20 @@ func (s *Store) Len() int { return len(s.entries) }
 // Sort orders the entries by time (stable, preserving emission order of
 // simultaneous entries).
 func (s *Store) Sort() {
-	if s.sorted {
+	if !s.unsorted {
 		return
 	}
 	sort.SliceStable(s.entries, func(i, j int) bool {
 		return s.entries[i].Time < s.entries[j].Time
 	})
-	s.sorted = true
+	s.unsorted = false
 }
 
 // Sorted reports whether the store is currently time-ordered.
-func (s *Store) Sorted() bool { return s.sorted }
+func (s *Store) Sorted() bool { return !s.unsorted }
 
 func (s *Store) mustBeSorted() {
-	if !s.sorted {
+	if s.unsorted {
 		panic("logmodel: store must be sorted; call Sort first")
 	}
 }
@@ -316,7 +320,7 @@ func (s *Store) Filter(pred func(*Entry) bool) *Store {
 			out.entries = append(out.entries, s.entries[i])
 		}
 	}
-	out.sorted = s.sorted
+	out.unsorted = s.unsorted
 	return out
 }
 
@@ -329,18 +333,21 @@ func (s *Store) FilterSource(source string) *Store {
 func (s *Store) Clone() *Store {
 	es := make([]Entry, len(s.entries))
 	copy(es, s.entries)
-	return &Store{entries: es, sorted: s.sorted}
+	return &Store{entries: es, unsorted: s.unsorted}
 }
 
-// escapeMessage makes a message safe for the tab-separated wire format.
+// escapeMessage makes a message safe for the tab-separated wire format. It
+// operates on bytes, not runes, so messages that are not valid UTF-8 pass
+// through unaltered instead of being replaced with U+FFFD (found by
+// FuzzReadLogs: real log streams carry arbitrary bytes).
 func escapeMessage(m string) string {
 	if !strings.ContainsAny(m, "\t\n\r\\") {
 		return m
 	}
 	var b strings.Builder
 	b.Grow(len(m) + 8)
-	for _, r := range m {
-		switch r {
+	for i := 0; i < len(m); i++ {
+		switch c := m[i]; c {
 		case '\t':
 			b.WriteString(`\t`)
 		case '\n':
@@ -350,13 +357,14 @@ func escapeMessage(m string) string {
 		case '\\':
 			b.WriteString(`\\`)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(c)
 		}
 	}
 	return b.String()
 }
 
-// unescapeMessage reverses escapeMessage.
+// unescapeMessage reverses escapeMessage. Byte-oriented for the same
+// reason.
 func unescapeMessage(m string) string {
 	if !strings.ContainsRune(m, '\\') {
 		return m
@@ -364,32 +372,33 @@ func unescapeMessage(m string) string {
 	var b strings.Builder
 	b.Grow(len(m))
 	esc := false
-	for _, r := range m {
+	for i := 0; i < len(m); i++ {
+		c := m[i]
 		if esc {
-			switch r {
+			switch c {
 			case 't':
-				b.WriteRune('\t')
+				b.WriteByte('\t')
 			case 'n':
-				b.WriteRune('\n')
+				b.WriteByte('\n')
 			case 'r':
-				b.WriteRune('\r')
+				b.WriteByte('\r')
 			case '\\':
-				b.WriteRune('\\')
+				b.WriteByte('\\')
 			default:
-				b.WriteRune('\\')
-				b.WriteRune(r)
+				b.WriteByte('\\')
+				b.WriteByte(c)
 			}
 			esc = false
 			continue
 		}
-		if r == '\\' {
+		if c == '\\' {
 			esc = true
 			continue
 		}
-		b.WriteRune(r)
+		b.WriteByte(c)
 	}
 	if esc {
-		b.WriteRune('\\')
+		b.WriteByte('\\')
 	}
 	return b.String()
 }

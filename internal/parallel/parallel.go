@@ -1,0 +1,144 @@
+// Package parallel provides the shared concurrency primitives of the
+// miners: a bounded worker pool with index-sharded fan-out and a
+// deterministic, ordered merge of per-shard partial results.
+//
+// Every miner in the tree (approaches L1–L3 and the Agrawal et al.
+// baseline) exposes a Workers knob in its Config and routes its hot loop
+// through this package, so there is exactly one concurrency idiom to
+// reason about. The contract is strict determinism: for a fixed input and
+// configuration the mined result is bit-identical for every worker count,
+// because output positions are fixed by input index (Map) or shard order
+// (MapShards) — never by goroutine scheduling or map iteration order.
+// Workers == 1 degenerates to a plain inline loop on the calling
+// goroutine, preserving the exact sequential path for A/B testing.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Config-style worker knob: n ≥ 1 is used as given;
+// n ≤ 0 selects runtime.GOMAXPROCS(0), i.e. "as many as the hardware
+// allows".
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampWorkers bounds the worker count by the amount of work.
+func clampWorkers(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map computes out[i] = fn(i) for every i in [0, n) using at most workers
+// goroutines and returns the results in index order. Work items are handed
+// out dynamically (an atomic cursor), so uneven per-item cost balances
+// across workers; determinism is unaffected because each result is stored
+// at its input index. workers ≤ 1 (or n ≤ 1) runs inline on the calling
+// goroutine. n ≤ 0 yields nil.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines, for loop bodies that write their results through the index
+// themselves (e.g. into a caller-allocated slice).
+func ForEach(workers, n int, fn func(i int)) {
+	Map(workers, n, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}
+
+// Shard is a contiguous index range [Lo, Hi) of some indexed input.
+type Shard struct{ Lo, Hi int }
+
+// Len returns the number of indices in the shard.
+func (s Shard) Len() int { return s.Hi - s.Lo }
+
+// Shards partitions [0, n) into at most workers near-equal contiguous
+// shards, in ascending index order. Every index belongs to exactly one
+// shard; shard sizes differ by at most one. n ≤ 0 yields nil.
+func Shards(workers, n int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	workers = clampWorkers(workers, n)
+	out := make([]Shard, 0, workers)
+	per, rem := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + per
+		if w < rem {
+			hi++
+		}
+		out = append(out, Shard{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// MapShards partitions [0, n) into at most workers contiguous shards,
+// computes one partial result per shard concurrently, and returns the
+// partials in shard order (ascending Lo). The caller folds the partials
+// left to right, which makes the merged output a function of the input
+// alone — the ordered-merge half of the determinism contract. A single
+// shard (workers ≤ 1 or n small) runs fn(0, n) inline, which is exactly
+// the sequential path. n ≤ 0 yields nil.
+func MapShards[T any](workers, n int, fn func(lo, hi int) T) []T {
+	shards := Shards(workers, n)
+	if len(shards) == 0 {
+		return nil
+	}
+	if len(shards) == 1 {
+		return []T{fn(0, n)}
+	}
+	out := make([]T, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			out[i] = fn(sh.Lo, sh.Hi)
+		}(i, sh)
+	}
+	wg.Wait()
+	return out
+}
