@@ -307,7 +307,7 @@ func benchmarkBaselineWorkers(b *testing.B, workers int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		baseline.Mine(r.Stores[0], hr, nil, baseline.Config{Workers: workers})
+		baseline.Mine(r.Stores[0], hr, nil, baseline.Config{Workers: workers}) //lint:allow cfgzero benchmark measures the worker sweep over package defaults
 	}
 }
 

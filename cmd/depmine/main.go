@@ -92,7 +92,12 @@ func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout f
 		res := l2.Mine(ss, l2.Config{Timeout: to, Workers: workers})
 		pairs = res.DependentPairs()
 		if direction {
-			for p, h := range l2.DirectionHints(ss, pairs, to) {
+			hints := l2.DirectionHints(ss, pairs, to)
+			for _, p := range pairs.SortedPairs() {
+				h, ok := hints[p]
+				if !ok {
+					continue
+				}
 				caller := h.Caller()
 				if caller == "" {
 					caller = "?"
@@ -114,13 +119,16 @@ func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout f
 		if err != nil {
 			return err
 		}
-		cfg := l3.Config{Workers: workers}
+		cfg := l3.DefaultConfig()
+		cfg.Workers = workers
 		if !nostops {
 			cfg.Stops = hospital.CanonicalStopPatterns()
 		}
 		deps = l3.NewMiner(dir, cfg).Mine(store, logmodel.TimeRange{}).Dependencies()
 	case "baseline":
-		res := baseline.Mine(store, span, nil, baseline.Config{Workers: workers})
+		bcfg := baseline.DefaultConfig()
+		bcfg.Workers = workers
+		res := baseline.Mine(store, span, nil, bcfg)
 		pairs = res.DependentPairs()
 	default:
 		return fmt.Errorf("unknown method %q", method)

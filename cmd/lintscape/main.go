@@ -1,0 +1,198 @@
+// Command lintscape is the repository's invariant checker: a multichecker
+// over the analyzers in internal/analyzers that mechanically enforces the
+// determinism & concurrency contract (see DESIGN.md §"Static invariants").
+//
+// Usage:
+//
+//	lintscape [flags] [packages]
+//
+// With no packages it checks ./... . Flags:
+//
+//	-json           emit findings as a JSON array instead of text
+//	-tests          also check in-package _test.go files
+//	-config FILE    severity configuration (default: .lintscape.json at
+//	                the module root, if present)
+//	-workers N      analysis parallelism (0 = all cores, 1 = sequential)
+//	-list           print the analyzers and their docs, then exit
+//
+// Exit status is 1 when any error-severity finding remains after
+// //lint:allow filtering, 2 on operational failure, 0 otherwise.
+//
+// The binary also speaks enough of the `go vet -vettool` protocol to run
+// as go vet -vettool=$(which lintscape) ./... : it answers -V=full and
+// -flags, and accepts a vet .cfg unit file as its sole argument.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"logscape/internal/analysis"
+	"logscape/internal/analysis/load"
+	"logscape/internal/analyzers"
+	"logscape/internal/parallel"
+)
+
+func main() {
+	// go vet probes its -vettool with -V=full before anything else.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			// The version string must not be "devel": cmd/go's toolID
+			// parser then demands a trailing buildID=... field.
+			fmt.Println("lintscape version v0.1.0")
+			return
+		}
+		if arg == "-flags" || arg == "--flags" {
+			// No analyzer flags are exported to vet.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	configPath := flag.String("config", "", "severity configuration file (default: .lintscape.json at the module root)")
+	workers := flag.Int("workers", 0, "analysis parallelism: 0 = all cores, 1 = sequential")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+	os.Exit(standalone(args, *configPath, *jsonOut, *tests, *workers))
+}
+
+// standalone is the main mode: load packages, run the suite, print.
+func standalone(patterns []string, configPath string, jsonOut, tests bool, workers int) int {
+	res, err := load.Load(load.Options{Patterns: patterns, Tests: tests, Workers: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintscape:", err)
+		return 2
+	}
+	for _, pkg := range res.Packages {
+		for _, e := range pkg.Errors {
+			fmt.Fprintf(os.Stderr, "lintscape: %s: %v\n", pkg.ImportPath, e)
+		}
+		if len(pkg.Errors) > 0 {
+			return 2
+		}
+	}
+
+	cfg, err := severityConfig(configPath, res.ModuleDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintscape:", err)
+		return 2
+	}
+
+	suite := analyzers.All()
+	perPkg := parallel.Map(parallel.Workers(workers), len(res.Packages), func(i int) []analysis.Finding {
+		return checkPackage(res.Packages[i], suite, cfg, res.ModuleDir)
+	})
+	var findings []analysis.Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+	analysis.SortFindings(findings)
+	return report(findings, jsonOut)
+}
+
+// checkPackage runs every non-off analyzer over one package and returns
+// the surviving findings (severity applied, directives filtered).
+func checkPackage(pkg *load.Package, suite []*analysis.Analyzer, cfg *analysis.SeverityConfig, moduleDir string) []analysis.Finding {
+	var findings []analysis.Finding
+	for _, a := range suite {
+		sev := cfg.Severity(pkg.RelDir, a.Name)
+		if sev == analysis.SeverityOff {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				file := pos.Filename
+				if moduleDir != "" {
+					if rel, err := filepath.Rel(moduleDir, file); err == nil {
+						file = filepath.ToSlash(rel)
+					}
+				}
+				findings = append(findings, analysis.Finding{
+					Analyzer: a.Name, Pos: pos,
+					File: file, Line: pos.Line, Col: pos.Column,
+					Message:  d.Message,
+					Severity: sev,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			findings = append(findings, analysis.Finding{
+				Analyzer: a.Name, File: pkg.RelDir,
+				Message:  fmt.Sprintf("analyzer failed: %v", err),
+				Severity: analysis.SeverityError,
+			})
+		}
+	}
+	return analysis.FilterByDirectives(findings, pkg.Sources)
+}
+
+// severityConfig loads -config, or the module's .lintscape.json when
+// present, or returns nil (everything error-severity).
+func severityConfig(configPath, moduleDir string) (*analysis.SeverityConfig, error) {
+	if configPath != "" {
+		return analysis.LoadSeverityConfig(configPath)
+	}
+	if moduleDir != "" {
+		def := filepath.Join(moduleDir, ".lintscape.json")
+		if _, err := os.Stat(def); err == nil {
+			return analysis.LoadSeverityConfig(def)
+		}
+	}
+	return nil, nil
+}
+
+// report prints the findings and returns the exit code.
+func report(findings []analysis.Finding, jsonOut bool) int {
+	failed := false
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "lintscape:", err)
+			return 2
+		}
+		for _, f := range findings {
+			failed = failed || f.Severity == analysis.SeverityError
+		}
+	} else {
+		for _, f := range findings {
+			label := ""
+			if f.Severity == analysis.SeverityWarn {
+				label = " [warn]"
+			}
+			fmt.Printf("%s%s\n", f.String(), label)
+			failed = failed || f.Severity == analysis.SeverityError
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

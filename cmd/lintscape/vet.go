@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"logscape/internal/analysis"
+	"logscape/internal/analysis/load"
+	"logscape/internal/analyzers"
+)
+
+// vetConfig is the subset of the cmd/go vet unit configuration file that
+// lintscape consumes (the same wire format x/tools' unitchecker reads).
+type vetConfig struct {
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	// VetxOnly marks a dependency unit: vet only wants facts (which
+	// lintscape's analyzers do not produce), not diagnostics.
+	VetxOnly bool
+	// VetxOutput is where vet expects the facts file; it must exist after
+	// the run or cmd/go treats the tool as failed.
+	VetxOutput string
+}
+
+// vetUnit analyzes one vet unit (go vet -vettool mode): parse the unit's
+// files, type-check against the export data vet already compiled, run the
+// suite and print findings to stderr. Returns the process exit code.
+func vetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintscape:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "lintscape: parsing vet config:", err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		// The analyzers exchange no facts; an empty file satisfies vet.
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "lintscape:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency unit (stdlib or otherwise): vet only wants facts, so
+		// do not analyze or report — diagnostics belong to the named
+		// packages.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	sources := make(map[string][]byte)
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintscape:", err)
+			return 2
+		}
+		sources[name] = src
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintscape:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := load.NewInfo()
+	tconf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintscape: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	// Severity configuration: nearest .lintscape.json at or above the
+	// unit's directory (vet does not tell us the module root).
+	sevCfg := findSeverityConfig(cfg.Dir)
+	relDir := relToConfigRoot(cfg.Dir)
+
+	var findings []analysis.Finding
+	for _, a := range analyzers.All() {
+		sev := sevCfg.Severity(relDir, a.Name)
+		if sev == analysis.SeverityOff {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer: a, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				findings = append(findings, analysis.Finding{
+					Analyzer: a.Name, Pos: pos,
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: d.Message, Severity: sev,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "lintscape: %s: %v\n", a.Name, err)
+			return 2
+		}
+	}
+	findings = analysis.FilterByDirectives(findings, sources)
+	analysis.SortFindings(findings)
+	failed := false
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+		failed = failed || f.Severity == analysis.SeverityError
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// configRoot is the directory whose .lintscape.json was loaded, so that
+// severity dir keys resolve against it.
+var configRoot string
+
+func findSeverityConfig(dir string) *analysis.SeverityConfig {
+	for d := dir; ; {
+		candidate := filepath.Join(d, ".lintscape.json")
+		if _, err := os.Stat(candidate); err == nil {
+			if cfg, err := analysis.LoadSeverityConfig(candidate); err == nil {
+				configRoot = d
+				return cfg
+			}
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return nil
+		}
+		d = parent
+	}
+}
+
+func relToConfigRoot(dir string) string {
+	if configRoot == "" {
+		return "."
+	}
+	rel, err := filepath.Rel(configRoot, dir)
+	if err != nil {
+		return "."
+	}
+	return filepath.ToSlash(rel)
+}

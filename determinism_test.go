@@ -69,8 +69,8 @@ func TestL2WorkerEquivalence(t *testing.T) {
 		t.Fatal("no sessions to mine")
 	}
 
-	seq := logscape.MineL2(ss, logscape.L2Config{Workers: 1})
-	par := logscape.MineL2(ss, logscape.L2Config{Workers: 8})
+	seq := logscape.MineL2(ss, logscape.L2Config{Workers: 1}) //lint:allow cfgzero worker-count equivalence test exercises package defaults
+	par := logscape.MineL2(ss, logscape.L2Config{Workers: 8}) //lint:allow cfgzero worker-count equivalence test exercises package defaults
 
 	if !reflect.DeepEqual(seq.Types, par.Types) {
 		t.Error("L2 type results differ between Workers:1 and Workers:8")
@@ -122,8 +122,8 @@ func TestBaselineWorkerEquivalence(t *testing.T) {
 		End:   tb.DayRange(0).Start + 11*logscape.MillisPerHour,
 	}
 
-	seq := logscape.MineBaseline(store, hour, tb.Apps(), logscape.BaselineConfig{Workers: 1})
-	par := logscape.MineBaseline(store, hour, tb.Apps(), logscape.BaselineConfig{Workers: 8})
+	seq := logscape.MineBaseline(store, hour, tb.Apps(), logscape.BaselineConfig{Workers: 1}) //lint:allow cfgzero worker-count equivalence test exercises package defaults
+	par := logscape.MineBaseline(store, hour, tb.Apps(), logscape.BaselineConfig{Workers: 8}) //lint:allow cfgzero worker-count equivalence test exercises package defaults
 
 	if !reflect.DeepEqual(seq.Ordered, par.Ordered) {
 		t.Error("baseline ordered-pair results differ between Workers:1 and Workers:8")
@@ -145,9 +145,9 @@ func TestBaselineWorkerEquivalenceInternal(t *testing.T) {
 		Start: tb.DayRange(0).Start + 9*logscape.MillisPerHour,
 		End:   tb.DayRange(0).Start + 10*logscape.MillisPerHour,
 	}
-	want := baseline.Mine(store, hour, nil, baseline.Config{Workers: 1})
+	want := baseline.Mine(store, hour, nil, baseline.Config{Workers: 1}) //lint:allow cfgzero worker-count equivalence test exercises package defaults
 	for _, workers := range []int{2, 3, 5, 16} {
-		got := baseline.Mine(store, hour, nil, baseline.Config{Workers: workers})
+		got := baseline.Mine(store, hour, nil, baseline.Config{Workers: workers}) //lint:allow cfgzero worker-count equivalence test exercises package defaults
 		if !reflect.DeepEqual(want.Ordered, got.Ordered) {
 			t.Errorf("workers=%d: results differ from sequential", workers)
 		}

@@ -1,0 +1,102 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that lintscape's analyzers build
+// on. The build environment vendors no external modules, so the framework
+// is grown from the standard library instead: syntax from go/ast, types
+// from go/types, and export data for imports resolved through
+// `go list -export` (see internal/analysis/load).
+//
+// The API deliberately mirrors x/tools so the analyzers can migrate to the
+// upstream framework verbatim once the module is allowed third-party
+// dependencies: an Analyzer has a Name, a Doc and a Run function; Run
+// receives a Pass with the parsed files, the type-checked package and the
+// type info, and reports Diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, severity configuration
+	// and //lint:allow directives. It must be a lowercase identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `lintscape -list`:
+	// the invariant the analyzer encodes and how to satisfy it.
+	Doc string
+	// Run applies the analyzer to one package. The result value is unused
+	// by the driver (it exists for x/tools API compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one analyzed package through an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn for
+// each node; fn returning false prunes the subtree.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Finding is a Diagnostic resolved to a concrete position and annotated
+// with its analyzer and severity; the driver's unit of output.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+	Severity Severity       `json:"severity"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// SortFindings orders findings by file, line, column, analyzer and message
+// — the deterministic output order of the driver.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

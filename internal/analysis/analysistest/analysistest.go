@@ -1,0 +1,262 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line earns a diagnostic by carrying a comment of the form
+//
+//	code() // want `regexp`
+//
+// (a double-quoted form is accepted too). Every reported diagnostic must
+// match a want on its line and every want must be matched — so fixtures
+// demonstrate both flagged and allowed cases. //lint:allow directives are
+// honored exactly as the driver honors them, which lets fixtures assert
+// the suppression path as well.
+//
+// Fixture imports are resolved from source for sibling fixture packages
+// (testdata/src/<path>) and from `go list -export` compiler export data
+// for everything else, so fixtures may import the standard library freely
+// without testdata ever being part of the module build.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"logscape/internal/analysis"
+	"logscape/internal/analysis/load"
+)
+
+// Run applies the analyzer to each fixture package (import paths under
+// testdata/src relative to the calling test's directory) and reports any
+// mismatch against the // want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		testdata: testdata,
+		fset:     fset,
+		gc:       importer.ForCompiler(fset, "gc", load.StdResolver("")),
+		cache:    make(map[string]*fixturePkg),
+	}
+	for _, pkg := range pkgs {
+		runOne(t, ld, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, ld *fixtureLoader, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fp, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
+	}
+	for _, err := range fp.errors {
+		t.Errorf("%s: fixture %s: type error: %v", a.Name, pkgPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     fp.files,
+		Pkg:       fp.pkg,
+		TypesInfo: fp.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: Run: %v", a.Name, err)
+	}
+
+	findings := make([]analysis.Finding, 0, len(diags))
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		findings = append(findings, analysis.Finding{
+			Analyzer: a.Name, Pos: pos,
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: d.Message,
+		})
+	}
+	findings = analysis.FilterByDirectives(findings, fp.sources)
+	analysis.SortFindings(findings)
+
+	wants := parseWants(t, fp.sources)
+	for _, f := range findings {
+		if !wants.match(f) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, rel(f.Pos.Filename), f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, rel(w.file), w.line, w.re.String())
+	}
+}
+
+func rel(name string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, name); err == nil {
+			return r
+		}
+	}
+	return name
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`([^`]*)`|\"([^\"]*)\")")
+
+func parseWants(t *testing.T, sources map[string][]byte) *wantSet {
+	t.Helper()
+	ws := &wantSet{}
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for i, line := range strings.Split(string(sources[name]), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pat := m[2]
+			if pat == "" {
+				pat = m[3]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+			}
+			ws.wants = append(ws.wants, &want{file: name, line: i + 1, re: re})
+		}
+	}
+	return ws
+}
+
+func (ws *wantSet) match(f analysis.Finding) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// fixturePkg is one parsed and type-checked fixture package.
+type fixturePkg struct {
+	files   []*ast.File
+	pkg     *types.Package
+	info    *types.Info
+	sources map[string][]byte
+	errors  []error
+}
+
+// fixtureLoader type-checks fixture packages, resolving sibling fixture
+// imports from source and everything else through export data.
+type fixtureLoader struct {
+	testdata string
+	fset     *token.FileSet
+	// gc is a single shared export-data importer so that all fixture
+	// packages see identical *types.Package instances for e.g. "sync".
+	gc       types.Importer
+	cache    map[string]*fixturePkg
+	checking []string // import cycle guard
+}
+
+func (ld *fixtureLoader) load(pkgPath string) (*fixturePkg, error) {
+	if fp, ok := ld.cache[pkgPath]; ok {
+		return fp, nil
+	}
+	for _, p := range ld.checking {
+		if p == pkgPath {
+			return nil, errImportCycle(pkgPath)
+		}
+	}
+	ld.checking = append(ld.checking, pkgPath)
+	defer func() { ld.checking = ld.checking[:len(ld.checking)-1] }()
+
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{sources: make(map[string][]byte)}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		fp.sources[full] = src
+		f, err := parser.ParseFile(ld.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		fp.files = append(fp.files, f)
+	}
+
+	fp.info = load.NewInfo()
+	conf := types.Config{
+		Importer: &fixtureImporter{ld: ld},
+		Error:    func(err error) { fp.errors = append(fp.errors, err) },
+	}
+	fp.pkg, _ = conf.Check(pkgPath, ld.fset, fp.files, fp.info)
+	ld.cache[pkgPath] = fp
+	return fp, nil
+}
+
+type errImportCycle string
+
+func (e errImportCycle) Error() string { return "fixture import cycle through " + string(e) }
+
+// fixtureImporter satisfies types.Importer for fixture type-checking.
+type fixtureImporter struct{ ld *fixtureLoader }
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	// Sibling fixture package?
+	if dir := filepath.Join(fi.ld.testdata, "src", filepath.FromSlash(path)); isDir(dir) {
+		fp, err := fi.ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return fi.ld.gc.Import(path)
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path"
+	"strings"
+)
+
+// Severity is the driver-level weight of a finding.
+type Severity int
+
+// Severity levels: Off discards the finding, Warn prints it without
+// failing the run, Error prints it and makes the driver exit non-zero.
+const (
+	SeverityError Severity = iota
+	SeverityWarn
+	SeverityOff
+)
+
+// String renders the severity as its configuration keyword.
+func (s Severity) String() string {
+	switch s {
+	case SeverityOff:
+		return "off"
+	case SeverityWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// MarshalJSON emits the configuration keyword.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+func parseSeverity(s string) (Severity, error) {
+	switch s {
+	case "error":
+		return SeverityError, nil
+	case "warn":
+		return SeverityWarn, nil
+	case "off":
+		return SeverityOff, nil
+	}
+	return SeverityError, fmt.Errorf("unknown severity %q (want error, warn or off)", s)
+}
+
+// SeverityConfig is the per-directory severity configuration of the
+// driver, loaded from a JSON file (.lintscape.json at the module root by
+// convention):
+//
+//	{
+//	  "default": {"maporder": "warn"},
+//	  "dirs": {"internal/parallel": {"bareconc": "off"}}
+//	}
+//
+// Directory keys are slash-separated paths relative to the module root;
+// the longest matching prefix (on whole path segments) wins, then the
+// default map, then SeverityError.
+type SeverityConfig struct {
+	Default map[string]string            `json:"default"`
+	Dirs    map[string]map[string]string `json:"dirs"`
+}
+
+// LoadSeverityConfig reads and validates a severity configuration file.
+func LoadSeverityConfig(file string) (*SeverityConfig, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var cfg SeverityConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", file, err)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", file, err)
+	}
+	return &cfg, nil
+}
+
+func (c *SeverityConfig) validate() error {
+	for a, s := range c.Default {
+		if _, err := parseSeverity(s); err != nil {
+			return fmt.Errorf("default.%s: %v", a, err)
+		}
+	}
+	for dir, m := range c.Dirs {
+		if path.Clean(dir) != dir || path.IsAbs(dir) {
+			return fmt.Errorf("dirs key %q: want a clean module-relative path", dir)
+		}
+		for a, s := range m {
+			if _, err := parseSeverity(s); err != nil {
+				return fmt.Errorf("dirs.%s.%s: %v", dir, a, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Severity resolves the severity of analyzer findings in the package
+// directory relDir (slash-separated, relative to the module root; "" or
+// "." for the root package). A nil config means every analyzer is
+// SeverityError everywhere.
+func (c *SeverityConfig) Severity(relDir, analyzer string) Severity {
+	if c == nil {
+		return SeverityError
+	}
+	relDir = path.Clean(relDir)
+	best, bestLen := "", -1
+	for dir, m := range c.Dirs {
+		if _, ok := m[analyzer]; !ok {
+			continue
+		}
+		if relDir == dir || strings.HasPrefix(relDir, dir+"/") {
+			if len(dir) > bestLen {
+				best, bestLen = dir, len(dir)
+			}
+		}
+	}
+	if bestLen >= 0 {
+		s, _ := parseSeverity(c.Dirs[best][analyzer])
+		return s
+	}
+	if v, ok := c.Default[analyzer]; ok {
+		s, _ := parseSeverity(v)
+		return s
+	}
+	return SeverityError
+}

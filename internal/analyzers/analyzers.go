@@ -1,0 +1,34 @@
+// Package analyzers registers lintscape's analyzer suite: the static
+// invariants that keep the determinism & concurrency contract a
+// compile-time property of the repository. See DESIGN.md §"Static
+// invariants" for the invariant each analyzer encodes.
+package analyzers
+
+import (
+	"logscape/internal/analysis"
+	"logscape/internal/analyzers/bareconc"
+	"logscape/internal/analyzers/cfgzero"
+	"logscape/internal/analyzers/floateq"
+	"logscape/internal/analyzers/maporder"
+	"logscape/internal/analyzers/wallclock"
+)
+
+// All returns the full analyzer suite in stable (alphabetical) order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		bareconc.Analyzer,
+		cfgzero.Analyzer,
+		floateq.Analyzer,
+		maporder.Analyzer,
+		wallclock.Analyzer,
+	}
+}
+
+// Names returns the analyzer names, for directive validation.
+func Names() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}

@@ -1,0 +1,88 @@
+package analyzers_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logscape/internal/analysis"
+	"logscape/internal/analyzers"
+)
+
+// TestAllowDirectivesJustified audits every //lint:allow directive in the
+// module: each must name known analyzers and carry a justification on the
+// same line. A suppression without a recorded reason is unreviewable, so
+// this test fails the build on it.
+func TestAllowDirectivesJustified(t *testing.T) {
+	root := moduleRoot(t)
+	known := analyzers.Names()
+	known["all"] = true
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		lines := strings.Split(string(src), "\n")
+		for _, dir := range analysis.ParseDirectives(rel, src) {
+			// Skip directives quoted inside another comment (grammar
+			// examples in doc comments): the text before the marker is
+			// itself a comment, so nothing is suppressed.
+			line := lines[dir.Line-1]
+			if idx := strings.Index(line, analysis.DirectivePrefix); idx > 0 &&
+				strings.Contains(line[:idx], "//") {
+				continue
+			}
+			if len(dir.Analyzers) == 0 {
+				t.Errorf("%s:%d: allow directive names no analyzer", rel, dir.Line)
+				continue
+			}
+			for _, a := range dir.Analyzers {
+				if !known[a] {
+					t.Errorf("%s:%d: allow directive names unknown analyzer %q", rel, dir.Line, a)
+				}
+			}
+			if dir.Justification == "" {
+				t.Errorf("%s:%d: allow directive lacks a justification on the same line", rel, dir.Line)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the directory
+// holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

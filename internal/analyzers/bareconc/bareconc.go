@@ -1,0 +1,80 @@
+// Package bareconc defines an analyzer that forbids hand-rolled
+// concurrency outside internal/parallel.
+//
+// The miners' determinism contract (bit-identical results for every
+// Workers setting) holds because all fan-out goes through the shared
+// engine, which fixes output positions by input index or shard order. A
+// raw `go` statement, a sync.WaitGroup or an ad-hoc channel fan-out
+// anywhere else reintroduces scheduling order into results, so the
+// analyzer flags them all and steers to parallel.Map / parallel.MapShards.
+// internal/parallel itself is exempted through the driver's severity
+// configuration, not in the analyzer, so fixtures and new call sites stay
+// uniformly checked.
+package bareconc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"logscape/internal/analysis"
+)
+
+// Analyzer flags bare go statements, sync.WaitGroup uses and channel
+// creation outside the shared parallel engine.
+var Analyzer = &analysis.Analyzer{
+	Name: "bareconc",
+	Doc: "forbid hand-rolled concurrency (go statements, sync.WaitGroup, channel fan-out) " +
+		"outside internal/parallel; route fan-out through parallel.Map or parallel.MapShards " +
+		"so the deterministic ordered-merge contract keeps holding",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "bare go statement outside internal/parallel; use parallel.Map or parallel.MapShards")
+		case *ast.SelectorExpr:
+			if isPkgSymbol(pass, n, "sync", "WaitGroup") {
+				pass.Reportf(n.Pos(), "sync.WaitGroup outside internal/parallel; use the shared worker pool instead")
+			}
+		case *ast.CallExpr:
+			if isMakeChan(pass, n) {
+				pass.Reportf(n.Pos(), "channel fan-out outside internal/parallel; shard work with parallel.MapShards instead")
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isPkgSymbol reports whether sel is a reference to pkgPath.name.
+func isPkgSymbol(pass *analysis.Pass, sel *ast.SelectorExpr, pkgPath, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == pkgPath
+}
+
+// isMakeChan reports whether call is make(chan ...).
+func isMakeChan(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.IsType() {
+		_, isChan := tv.Type.Underlying().(*types.Chan)
+		return isChan
+	}
+	// Syntactic fallback when type info is incomplete.
+	_, isChan := call.Args[0].(*ast.ChanType)
+	return isChan
+}

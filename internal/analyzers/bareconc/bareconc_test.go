@@ -1,0 +1,12 @@
+package bareconc_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/analysistest"
+	"logscape/internal/analyzers/bareconc"
+)
+
+func TestBareconc(t *testing.T) {
+	analysistest.Run(t, bareconc.Analyzer, "a")
+}

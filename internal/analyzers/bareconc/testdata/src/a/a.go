@@ -1,0 +1,42 @@
+// Fixture for the bareconc analyzer: hand-rolled fan-out is flagged,
+// sanctioned use is either routed through the shared engine (not visible
+// here) or carries a justified allow directive.
+package a
+
+import "sync"
+
+func fanOut(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup // want `sync\.WaitGroup outside internal/parallel`
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want `bare go statement outside internal/parallel`
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func chanFanOut(n int) int {
+	results := make(chan int, n) // want `channel fan-out outside internal/parallel`
+	total := 0
+	for i := 0; i < n; i++ {
+		results <- i
+	}
+	for i := 0; i < n; i++ {
+		total += <-results
+	}
+	return total
+}
+
+// makeSlice shows that non-channel makes stay unflagged.
+func makeSlice(n int) []int {
+	return make([]int, n)
+}
+
+// allowedDaemon shows the sanctioned escape hatch: a justified directive.
+func allowedDaemon(f func()) {
+	go f() //lint:allow bareconc one-shot signal-handler goroutine, not miner fan-out
+}

@@ -1,0 +1,12 @@
+package cfgzero_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/analysistest"
+	"logscape/internal/analyzers/cfgzero"
+)
+
+func TestCfgzero(t *testing.T) {
+	analysistest.Run(t, cfgzero.Analyzer, "use")
+}

@@ -1,0 +1,24 @@
+// Fixture dependency for cfgzero: a miner-shaped Config (Workers knob
+// plus threshold fields), imported by the use package.
+package miner
+
+// Config mirrors the miner configuration shape: a Workers knob plus
+// threshold fields.
+type Config struct {
+	MinLogs int
+	Alpha   float64
+	Workers int
+}
+
+// DefaultConfig fills the calibrated thresholds.
+func DefaultConfig() Config {
+	return Config{MinLogs: 100, Alpha: 0.05}
+}
+
+// Other is a non-Config struct with a Workers field; out of scope.
+type Other struct {
+	Workers int
+}
+
+// Mine consumes a config.
+func Mine(c Config) int { return c.MinLogs * c.Workers }

@@ -1,0 +1,45 @@
+// Fixture for the cfgzero analyzer: a Config literal that only sets
+// Workers is flagged; literals that also pin a threshold, default-based
+// construction and justified directives stay quiet.
+package use
+
+import "miner"
+
+func bad(workers int) int {
+	return miner.Mine(miner.Config{Workers: workers}) // want `miner\.Config literal sets Workers but every threshold field is left zero`
+}
+
+func badVar(workers int) miner.Config {
+	cfg := miner.Config{ // want `miner\.Config literal sets Workers`
+		Workers: workers,
+	}
+	return cfg
+}
+
+// goodExplicit pins a threshold alongside Workers — allowed.
+func goodExplicit(workers int) int {
+	return miner.Mine(miner.Config{Workers: workers, MinLogs: 10})
+}
+
+// goodDefaults starts from the package defaults and overrides Workers —
+// the recommended remediation.
+func goodDefaults(workers int) int {
+	cfg := miner.DefaultConfig()
+	cfg.Workers = workers
+	return miner.Mine(cfg)
+}
+
+// goodZero constructs the all-defaults config; nothing half-initialized.
+func goodZero() int {
+	return miner.Mine(miner.Config{})
+}
+
+// goodOther: structs not named Config are out of scope.
+func goodOther(workers int) miner.Other {
+	return miner.Other{Workers: workers}
+}
+
+// allowedDirective shows the escape hatch for deliberate defaults.
+func allowedDirective(workers int) int {
+	return miner.Mine(miner.Config{Workers: workers}) //lint:allow cfgzero worker-count equivalence test exercises package defaults
+}

@@ -1,0 +1,76 @@
+// Package floateq defines an analyzer that flags direct floating-point
+// equality.
+//
+// Exact == / != between computed floating-point values is almost always a
+// latent bug: two mathematically equal expressions rarely compare equal
+// after rounding, and the result can differ between optimization levels.
+// Comparisons against sentinel literals (x == 0, p == 0.5 — values stored,
+// never computed) are idiomatic and stay allowed, as does the x != x NaN
+// probe. Everything else should go through a tolerance helper such as
+// stats.ApproxEqual, or carry a justified //lint:allow floateq when exact
+// equality is the point (e.g. midrank tie grouping).
+package floateq
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"logscape/internal/analysis"
+)
+
+// Analyzer flags == and != between computed floating-point expressions.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floating-point expressions except against sentinel literals " +
+		"(constants) and the x != x NaN probe; use a tolerance comparison such as " +
+		"stats.ApproxEqual instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Inspect(func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass, bin.X) || !isFloat(pass, bin.Y) {
+			return true
+		}
+		// Sentinel comparison: one side is a compile-time constant.
+		if isConst(pass, bin.X) || isConst(pass, bin.Y) {
+			return true
+		}
+		// The canonical NaN probe compares an expression with itself.
+		if exprString(pass.Fset, bin.X) == exprString(pass.Fset, bin.Y) {
+			return true
+		}
+		pass.Reportf(bin.Pos(), "floating-point %s between computed values; use a tolerance comparison (e.g. stats.ApproxEqual)", bin.Op)
+		return true
+	})
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/analysistest"
+	"logscape/internal/analyzers/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "a")
+}

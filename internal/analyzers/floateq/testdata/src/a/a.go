@@ -1,0 +1,63 @@
+// Fixture for the floateq analyzer: equality between computed floats is
+// flagged; sentinel-literal comparisons, the NaN probe, integer equality
+// and justified exact ties stay quiet.
+package a
+
+func badEqual(a, b float64) bool {
+	return a == b // want `floating-point == between computed values`
+}
+
+func badNotEqual(a, b float64) bool {
+	return a != b // want `floating-point != between computed values`
+}
+
+func badComputed(xs []float64) bool {
+	return sum(xs) == mean(xs)*float64(len(xs)) // want `floating-point == between computed values`
+}
+
+// goodSentinelZero compares against a stored sentinel literal — allowed.
+func goodSentinelZero(x float64) bool {
+	return x == 0
+}
+
+// goodSentinelHalf: any constant is a sentinel.
+func goodSentinelHalf(p float64) bool {
+	return p != 0.5
+}
+
+const tieBreak = 1.5
+
+// goodNamedConstant: named constants are sentinels too.
+func goodNamedConstant(x float64) bool {
+	return x == tieBreak
+}
+
+// goodNaNProbe is the canonical self-comparison NaN test — allowed.
+func goodNaNProbe(x float64) bool {
+	return x != x
+}
+
+// goodInts: integer equality is exact and out of scope.
+func goodInts(a, b int) bool {
+	return a == b
+}
+
+// allowedExactTie shows the escape hatch for intentional exact equality.
+func allowedExactTie(a, b float64) bool {
+	return a == b //lint:allow floateq exact tie grouping over already-stored values
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return sum(xs) / float64(len(xs))
+}

@@ -1,0 +1,216 @@
+// Package maporder defines an analyzer that catches Go's classic silent
+// determinism breaker: folding map iteration order into an ordered result.
+//
+// Ranging over a map is fine when the body is commutative (set inserts,
+// integer counting). It silently breaks the repo's bit-identical-output
+// contract when the body appends to a slice that is never sorted
+// afterwards, writes output directly, or folds into an accumulator whose
+// operation is order-sensitive (string concatenation; floating-point
+// accumulation, which is not associative). The analyzer flags exactly
+// those three shapes and stands down for appends when the enclosing
+// function visibly sorts afterwards.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"logscape/internal/analysis"
+)
+
+// Analyzer flags order-sensitive folds over map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops whose body appends to a slice without a subsequent sort, " +
+		"writes output, or folds into a non-commutative accumulator (string concatenation, " +
+		"floating-point accumulation) — map iteration order is randomized and such folds make " +
+		"mined output depend on it",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, fn := range functionsOf(file) {
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// functionsOf collects every function body in the file (declarations and
+// literals).
+func functionsOf(file *ast.File) []ast.Node {
+	var fns []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fns = append(fns, n)
+		}
+		return true
+	})
+	return fns
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// checkFunc inspects the map-range loops whose nearest enclosing function
+// is fn.
+func checkFunc(pass *analysis.Pass, fn ast.Node) {
+	body := funcBody(fn)
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			// Nested functions are visited on their own.
+			return n == fn
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && isMap(tv.Type) {
+				checkMapRange(pass, body, n)
+			}
+		}
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange flags the order-sensitive statements inside one map-range
+// body. funcBody is the body of the enclosing function, used to look for a
+// sort after the loop.
+func checkMapRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	sorted := sortsAfter(funcBody, rng.End())
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, n, sorted)
+		case *ast.CallExpr:
+			if name, ok := writeCallName(n); ok {
+				pass.Reportf(n.Pos(), "%s writes output in map iteration order; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags appends (unless a later sort normalizes the order) and
+// non-commutative compound assignments inside a map-range body.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, sortedAfter bool) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if !sortedAfter && hasAppend(pass, as.Rhs) {
+			pass.Reportf(as.Pos(), "append in map iteration order without a subsequent sort; sort the result or iterate sorted keys")
+		}
+	case token.SUB_ASSIGN, token.QUO_ASSIGN:
+		pass.Reportf(as.Pos(), "%s folds a non-commutative accumulator in map iteration order; iterate sorted keys instead", as.Tok)
+	case token.ADD_ASSIGN, token.MUL_ASSIGN:
+		// Integer += / *= commute exactly; string += concatenates in
+		// visit order and float += / *= round in visit order.
+		if len(as.Lhs) == 1 && isOrderSensitiveAccumulator(pass, as.Lhs[0]) {
+			pass.Reportf(as.Pos(), "%s folds a non-commutative accumulator (string or floating point) in map iteration order; iterate sorted keys instead", as.Tok)
+		}
+	}
+}
+
+func isOrderSensitiveAccumulator(pass *analysis.Pass, lhs ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[lhs]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsString|types.IsFloat|types.IsComplex) != 0
+}
+
+func hasAppend(pass *analysis.Pass, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// writeNames are method/function names that emit output directly.
+var writeNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteRune": true, "WriteByte": true,
+}
+
+func writeCallName(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writeNames[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// sortsAfter reports whether the function body contains a sort call
+// positioned after pos — the "subsequent sort" that makes an append safe.
+// A sort call is any call whose callee name mentions sort (sort.Strings,
+// slices.SortFunc, a local sortPairs helper, ...).
+func sortsAfter(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if strings.Contains(strings.ToLower(calleeName(call)), "sort") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return ""
+}

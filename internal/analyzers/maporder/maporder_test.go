@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/analysistest"
+	"logscape/internal/analyzers/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "a")
+}

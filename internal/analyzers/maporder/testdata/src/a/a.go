@@ -1,0 +1,102 @@
+// Fixture for the maporder analyzer: order-sensitive folds over map
+// iteration are flagged; commutative folds, sorted appends and justified
+// directives stay quiet.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append in map iteration order without a subsequent sort`
+	}
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `writes output in map iteration order`
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `writes output in map iteration order`
+	}
+	return b.String()
+}
+
+func badFloatFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `non-commutative accumulator`
+	}
+	return sum
+}
+
+func badConcat(m map[string]string) string {
+	out := ""
+	for _, v := range m {
+		out += v // want `non-commutative accumulator`
+	}
+	return out
+}
+
+func badSubtract(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n -= v // want `non-commutative accumulator`
+	}
+	return n
+}
+
+// goodSortedAppend is the sanctioned pattern: collect, then sort.
+func goodSortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodCount folds commutatively (integer addition) — allowed.
+func goodCount(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodSetInsert builds a set — allowed, no order dependence.
+func goodSetInsert(m map[string]int) map[int]bool {
+	out := make(map[int]bool)
+	for _, v := range m {
+		out[v] = true
+	}
+	return out
+}
+
+// goodSliceRange ranges a slice, which iterates in index order.
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// allowedDirective shows the escape hatch for a caller-normalized result.
+func allowedDirective(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow maporder caller treats the result as an unordered set
+	}
+	return keys
+}

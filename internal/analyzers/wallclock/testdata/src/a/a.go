@@ -1,0 +1,43 @@
+// Fixture for the wallclock analyzer: machine-clock reads are flagged;
+// log-derived time and justified timing code stay quiet.
+package a
+
+import "time"
+
+type millis int64
+
+type entry struct {
+	Time millis
+}
+
+func badNow() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func badUntil(t1 time.Time) time.Duration {
+	return time.Until(t1) // want `time\.Until reads the wall clock`
+}
+
+// goodLogTime derives time from log entries — the sanctioned source.
+func goodLogTime(entries []entry) millis {
+	if len(entries) == 0 {
+		return 0
+	}
+	return entries[len(entries)-1].Time - entries[0].Time
+}
+
+// goodConversion uses the time package without reading the clock.
+func goodConversion(m millis) time.Duration {
+	return time.Duration(m) * time.Millisecond
+}
+
+// allowedTiming is the sanctioned escape hatch for real timing code.
+func allowedTiming(f func()) time.Duration {
+	start := time.Now() //lint:allow wallclock harness timing output, not mining input
+	f()
+	return time.Since(start) //lint:allow wallclock harness timing output, not mining input
+}

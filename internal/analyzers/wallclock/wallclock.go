@@ -1,0 +1,48 @@
+// Package wallclock defines an analyzer that keeps wall-clock time out of
+// the mining pipeline.
+//
+// Mined models must be a pure function of the logs: every timestamp the
+// miners reason about derives from log-entry time (logmodel.Millis), never
+// from the machine clock — otherwise re-mining the same corpus gives
+// different sessions, slots and delays. The analyzer flags time.Now,
+// time.Since and time.Until. Genuine timing code (CLI progress output in
+// cmd/, harness measurement in internal/eval) opts out per call site with
+// a justified `//lint:allow wallclock` directive.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"logscape/internal/analysis"
+)
+
+// banned are the time package functions that read the machine clock.
+var banned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// Analyzer flags reads of the wall clock.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Until in mining code: all time must derive from " +
+		"log-entry timestamps so that mined models are a pure function of the input; " +
+		"allowlist real timing code per call site with //lint:allow wallclock <why>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !banned[sel.Sel.Name] {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkgName.Imported().Path() == "time" {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; derive time from log-entry timestamps (logmodel.Millis)", sel.Sel.Name)
+		}
+		return true
+	})
+	return nil, nil
+}

@@ -49,6 +49,13 @@ type Config struct {
 	Workers int
 }
 
+// DefaultConfig returns the baseline's calibrated configuration with every
+// threshold field set explicitly — the sanctioned base for call sites that
+// only want to tune Workers (see the cfgzero analyzer).
+func DefaultConfig() Config {
+	return Config{}.withDefaults()
+}
+
 func (c Config) withDefaults() Config {
 	if c.Window == 0 {
 		c.Window = 2 * logmodel.MillisPerSecond

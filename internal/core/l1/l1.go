@@ -113,6 +113,13 @@ type Config struct {
 	Workers int
 }
 
+// DefaultConfig returns the paper's calibrated configuration with every
+// threshold field set explicitly — the sanctioned base for call sites that
+// only want to tune Workers (see the cfgzero analyzer).
+func DefaultConfig() Config {
+	return Config{}.withDefaults()
+}
+
 // withDefaults fills zero fields with the paper's settings.
 func (c Config) withDefaults() Config {
 	if c.SlotWidth == 0 {

@@ -72,6 +72,13 @@ type Config struct {
 	Workers int
 }
 
+// DefaultConfig returns the paper's calibrated configuration with every
+// threshold field set explicitly — the sanctioned base for call sites that
+// only want to tune Workers (see the cfgzero analyzer).
+func DefaultConfig() Config {
+	return Config{}.withDefaults()
+}
+
 func (c Config) withDefaults() Config {
 	if c.Timeout == 0 {
 		c.Timeout = logmodel.MillisPerSecond
@@ -149,14 +156,16 @@ func CountBigramsParallel(ss []sessions.Session, timeout logmodel.Millis, worker
 	}
 	merged := parts[0]
 	for _, p := range parts[1:] {
+		// Counts are integer-valued floats, so this fold is exact and
+		// commutative; map-range merge order cannot change the result.
 		for b, n := range p.Joint {
-			merged.Joint[b] += n
+			merged.Joint[b] += n //lint:allow maporder integer-valued counts, addition is exact and commutative
 		}
 		for s, n := range p.First {
-			merged.First[s] += n
+			merged.First[s] += n //lint:allow maporder integer-valued counts, addition is exact and commutative
 		}
 		for s, n := range p.Second {
-			merged.Second[s] += n
+			merged.Second[s] += n //lint:allow maporder integer-valued counts, addition is exact and commutative
 		}
 		merged.Total += p.Total
 	}

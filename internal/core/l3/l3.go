@@ -44,6 +44,15 @@ type Config struct {
 	Workers int
 }
 
+// DefaultConfig returns the paper's calibrated configuration with every
+// threshold field set explicitly — the sanctioned base for call sites that
+// only want to tune Workers (see the cfgzero analyzer). L3's only threshold
+// is MinCitations; Stops and Owner stay nil because they are corpus-specific
+// inputs, not thresholds.
+func DefaultConfig() Config {
+	return Config{MinCitations: 1}
+}
+
 // Evidence is the citation evidence for one mined dependency.
 type Evidence struct {
 	Pair core.AppServicePair

@@ -107,8 +107,11 @@ func (r *Runner) Figure9(minRealized int) Figure9Result {
 			// notion): at 1/100 of HUG's volume, quiet hours would
 			// otherwise measure data starvation rather than the
 			// parallelism interference the experiment is about.
+			// Iterate in sorted order: eligible1 feeds SlotTest, which
+			// consumes the shared rng, so map-range order would leak into
+			// the sampled slots and make runs non-reproducible.
 			eligible1 := make([]core.Pair, 0, len(pairs))
-			for p := range pairs {
+			for _, p := range pairs.SortedPairs() {
 				if len(idx[p.A]) >= l1cfg.MinLogs && len(idx[p.B]) >= l1cfg.MinLogs {
 					eligible1 = append(eligible1, p)
 				}
@@ -142,7 +145,7 @@ func (r *Runner) Figure9(minRealized int) Figure9Result {
 				minJoint = 3
 			}
 			eligible2 := make([]core.Pair, 0, len(pairs))
-			for p := range pairs {
+			for _, p := range pairs.SortedPairs() {
 				joint := allCounts.Joint[l2.Bigram{First: p.A, Second: p.B}] +
 					allCounts.Joint[l2.Bigram{First: p.B, Second: p.A}]
 				if joint >= minJoint {

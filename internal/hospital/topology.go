@@ -408,23 +408,28 @@ func GenerateTopology(cfg TopologyConfig, seed int64) *Topology {
 		popularity[base] *= 0.05
 	}
 
+	// groupIDs is sorted once: both the weight total and the roulette scan
+	// below must accumulate floats in a fixed order, or the sum's rounding
+	// (and with it the picked group) would vary with map iteration order
+	// across processes despite the fixed seed.
+	groupIDs := make([]string, 0, len(popularity))
+	for id := range popularity {
+		groupIDs = append(groupIDs, id)
+	}
+	sort.Strings(groupIDs)
+
 	pickGroup := func(exclude func(string) bool) string {
 		var total float64
-		for id, w := range popularity {
+		for _, id := range groupIDs {
 			if !exclude(id) {
-				total += w
+				total += popularity[id]
 			}
 		}
 		if total == 0 {
 			return ""
 		}
 		x := rng.Float64() * total
-		ids := make([]string, 0, len(popularity))
-		for id := range popularity {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids) // deterministic iteration
-		for _, id := range ids {
+		for _, id := range groupIDs {
 			if exclude(id) {
 				continue
 			}

@@ -40,12 +40,39 @@ func clampWorkers(workers, n int) int {
 	return workers
 }
 
+// firstPanic collects worker panics and keeps the one with the lowest item
+// index, so the value re-raised on the caller is the same one the
+// sequential path would have raised — panic identity is part of the
+// determinism contract, not just results.
+type firstPanic struct {
+	mu    sync.Mutex
+	set   bool
+	index int
+	value any
+}
+
+func (p *firstPanic) record(i int, v any) {
+	p.mu.Lock()
+	if !p.set || i < p.index {
+		p.set, p.index, p.value = true, i, v
+	}
+	p.mu.Unlock()
+}
+
+func (p *firstPanic) repanic() {
+	if p.set {
+		panic(p.value)
+	}
+}
+
 // Map computes out[i] = fn(i) for every i in [0, n) using at most workers
 // goroutines and returns the results in index order. Work items are handed
 // out dynamically (an atomic cursor), so uneven per-item cost balances
 // across workers; determinism is unaffected because each result is stored
 // at its input index. workers ≤ 1 (or n ≤ 1) runs inline on the calling
-// goroutine. n ≤ 0 yields nil.
+// goroutine. n ≤ 0 yields nil. If fn panics, every remaining item still
+// runs and the panic with the lowest item index is re-raised on the
+// calling goroutine — exactly what the sequential path would raise.
 func Map[T any](workers, n int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
@@ -58,6 +85,7 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 		}
 		return out
 	}
+	var fp firstPanic
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -69,11 +97,19 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							fp.record(i, r)
+						}
+					}()
+					out[i] = fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	fp.repanic()
 	return out
 }
 
@@ -121,7 +157,9 @@ func Shards(workers, n int) []Shard {
 // left to right, which makes the merged output a function of the input
 // alone — the ordered-merge half of the determinism contract. A single
 // shard (workers ≤ 1 or n small) runs fn(0, n) inline, which is exactly
-// the sequential path. n ≤ 0 yields nil.
+// the sequential path. n ≤ 0 yields nil. If fn panics, the remaining
+// shards still run and the panic with the lowest shard index is re-raised
+// on the calling goroutine.
 func MapShards[T any](workers, n int, fn func(lo, hi int) T) []T {
 	shards := Shards(workers, n)
 	if len(shards) == 0 {
@@ -130,15 +168,22 @@ func MapShards[T any](workers, n int, fn func(lo, hi int) T) []T {
 	if len(shards) == 1 {
 		return []T{fn(0, n)}
 	}
+	var fp firstPanic
 	out := make([]T, len(shards))
 	var wg sync.WaitGroup
 	for i, sh := range shards {
 		wg.Add(1)
 		go func(i int, sh Shard) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fp.record(i, r)
+				}
+			}()
 			out[i] = fn(sh.Lo, sh.Hi)
 		}(i, sh)
 	}
 	wg.Wait()
+	fp.repanic()
 	return out
 }

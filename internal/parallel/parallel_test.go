@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"fmt"
 	"reflect"
 	"runtime"
 	"sync/atomic"
@@ -148,5 +149,86 @@ func TestMapShardsSingleShardInline(t *testing.T) {
 	})
 	if calls != 1 || len(got) != 1 || got[0] != [2]int{0, 9} {
 		t.Errorf("single shard: calls=%d got=%v", calls, got)
+	}
+}
+
+func TestMapMoreWorkersThanItems(t *testing.T) {
+	// Workers far above the item count must neither deadlock nor call any
+	// index more than once; clampWorkers caps the pool at n.
+	var calls [3]int32
+	got := Map(64, len(calls), func(i int) int {
+		atomic.AddInt32(&calls[i], 1)
+		return i * 10
+	})
+	if want := []int{0, 10, 20}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Map(64, 3) = %v, want %v", got, want)
+	}
+	for i, c := range calls {
+		if c != 1 {
+			t.Errorf("index %d called %d times", i, c)
+		}
+	}
+	if parts := MapShards(64, 3, func(lo, hi int) int { return hi - lo }); len(parts) > 3 {
+		t.Errorf("MapShards(64, 3) produced %d shards", len(parts))
+	}
+}
+
+func TestMapShardsZeroItemsMergeSafe(t *testing.T) {
+	// Zero items yield nil partials; folding them with a non-nil merge must
+	// be a no-op, not a panic — miners always fold whatever comes back.
+	parts := MapShards(4, 0, func(lo, hi int) map[string]int {
+		return map[string]int{"x": hi - lo}
+	})
+	if parts != nil {
+		t.Fatalf("MapShards over zero items = %v, want nil", parts)
+	}
+	merged := map[string]int{}
+	for _, p := range parts {
+		for k, v := range p {
+			merged[k] += v //lint:allow maporder integer counts in a test, addition is exact and commutative
+		}
+	}
+	if len(merged) != 0 {
+		t.Errorf("merge over zero partials = %v, want empty", merged)
+	}
+}
+
+func TestMapPanicPropagation(t *testing.T) {
+	// A panic in a worker must surface on the calling goroutine, carry the
+	// original value, and be the lowest-index panic (what the sequential
+	// path would raise) — on both the inline and the parallel path.
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if r != "boom 3" {
+					t.Errorf("workers=%d: recovered %v, want \"boom 3\"", workers, r)
+				}
+			}()
+			Map(workers, 10, func(i int) int {
+				if i >= 3 {
+					panic(fmt.Sprintf("boom %d", i))
+				}
+				return i
+			})
+		}()
+	}
+}
+
+func TestMapShardsPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+			}()
+			MapShards(workers, 8, func(lo, hi int) int {
+				panic("shard boom")
+			})
+		}()
 	}
 }

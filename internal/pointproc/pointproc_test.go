@@ -84,7 +84,7 @@ func TestDistanceSample(t *testing.T) {
 		t.Fatalf("len = %d", len(got))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if got[i] != want[i] { //lint:allow floateq distances here are exact small integers in float64
 			t.Errorf("sample[%d] = %v, want %v", i, got[i], want[i])
 		}
 	}

@@ -1,0 +1,28 @@
+package stats
+
+import "math"
+
+// ApproxEqual reports whether a and b agree within tol, using an absolute
+// comparison near zero and a relative one otherwise. It is the sanctioned
+// replacement for `==` on computed floats (see the floateq analyzer):
+// statistics derived through different — but mathematically equivalent —
+// summation orders can differ in the last bits, and exact comparison turns
+// that rounding noise into behavior. NaN is equal to nothing; both infinities
+// compare equal only to themselves.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //lint:allow floateq fast path and infinity handling need the exact comparison
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities, or one infinite operand
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale <= 1 {
+		return diff <= tol
+	}
+	return diff <= tol*scale
+}

@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		name      string
+		a, b, tol float64
+		want      bool
+	}{
+		{"identical", 1.5, 1.5, 0, true},
+		{"within absolute tol near zero", 1e-12, 2e-12, 1e-11, true},
+		{"outside absolute tol near zero", 0, 1e-6, 1e-9, false},
+		{"within relative tol", 1e9, 1e9 * (1 + 1e-12), 1e-9, true},
+		{"outside relative tol", 1e9, 1e9 * 1.01, 1e-9, false},
+		{"rounding noise", 0.1 + 0.2, 0.3, 1e-12, true},
+		{"nan left", math.NaN(), 1, 1, false},
+		{"nan both", math.NaN(), math.NaN(), 1, false},
+		{"same infinity", math.Inf(1), math.Inf(1), 1e-9, true},
+		{"opposite infinities", math.Inf(1), math.Inf(-1), 1e-9, false},
+		{"zero tol demands exact", 1, math.Nextafter(1, 2), 0, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v, %v) = %v, want %v",
+				c.name, c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

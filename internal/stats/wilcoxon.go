@@ -78,7 +78,7 @@ func wilcoxonFromDiffs(diffs []float64) (WilcoxonResult, error) {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j < n && ads[j].abs == ads[i].abs {
+		for j < n && ads[j].abs == ads[i].abs { //lint:allow floateq midrank tie grouping requires exact equality of stored values
 			j++
 		}
 		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j

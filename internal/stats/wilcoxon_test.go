@@ -48,7 +48,7 @@ func TestWilcoxonSymmetricSample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.WPlus != res.WMinus {
+	if res.WPlus != res.WMinus { //lint:allow floateq rank sums are small exact halves, symmetry must hold bit for bit
 		t.Errorf("W+ = %v, W− = %v", res.WPlus, res.WMinus)
 	}
 	if res.PValue < 0.9 {

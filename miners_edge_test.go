@@ -65,7 +65,7 @@ func TestMinersDegenerateInputs(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, workers := range []int{1, 4} {
 				// L1: result must have an initialized pair map.
-				l1res := l1.Mine(tc.store, tc.r, nil, l1.Config{Workers: workers})
+				l1res := l1.Mine(tc.store, tc.r, nil, l1.Config{Workers: workers}) //lint:allow cfgzero degenerate-input test exercises package defaults
 				if l1res.Pairs == nil {
 					t.Error("l1: nil Pairs map")
 				}
@@ -76,7 +76,7 @@ func TestMinersDegenerateInputs(t *testing.T) {
 				// L2: session building and mining over whatever sessions
 				// exist (typically none).
 				ss, _ := sessions.Build(tc.store, sessions.Config{})
-				l2res := l2.Mine(ss, l2.Config{Workers: workers})
+				l2res := l2.Mine(ss, l2.Config{Workers: workers}) //lint:allow cfgzero degenerate-input test exercises package defaults
 				if l2res.Types == nil || l2res.Counts == nil || l2res.Counts.Joint == nil {
 					t.Error("l2: nil result maps")
 				}
@@ -88,7 +88,7 @@ func TestMinersDegenerateInputs(t *testing.T) {
 				}
 
 				// L3: evidence map must be initialized even with no entries.
-				l3res := l3.NewMiner(edgeDirectory(), l3.Config{Workers: workers}).Mine(tc.store, tc.r)
+				l3res := l3.NewMiner(edgeDirectory(), l3.Config{Workers: workers}).Mine(tc.store, tc.r) //lint:allow cfgzero degenerate-input test exercises package defaults
 				if l3res.Evidence == nil {
 					t.Error("l3: nil Evidence map")
 				}
@@ -98,7 +98,7 @@ func TestMinersDegenerateInputs(t *testing.T) {
 
 				// Baseline: ordered map must be initialized; no pair can be
 				// tested without two active sources in range.
-				bres := baseline.Mine(tc.store, tc.r, nil, baseline.Config{Workers: workers})
+				bres := baseline.Mine(tc.store, tc.r, nil, baseline.Config{Workers: workers}) //lint:allow cfgzero degenerate-input test exercises package defaults
 				if bres.Ordered == nil {
 					t.Error("baseline: nil Ordered map")
 				}

@@ -1,0 +1,8 @@
+// Package tools pins the versions of the development tools CI installs
+// (staticcheck, govulncheck). The module itself is dependency-free, so the
+// canonical go.mod tools pattern — blank imports pulling the tools into
+// go.sum — would add third-party modules to an otherwise stdlib-only build;
+// instead tools.go (build-tagged, never compiled) records the blank imports
+// and the pinned versions, and .github/workflows/ci.yml installs exactly
+// those versions. Bump the pins in both files together.
+package tools

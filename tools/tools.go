@@ -1,0 +1,16 @@
+//go:build tools
+
+// Pinned development tools (the go.mod tools pattern, build-gated so the
+// stdlib-only module never compiles or downloads them). CI installs the
+// same versions via `go install <path>@<version>`; the pins live in
+// .github/workflows/ci.yml as STATICCHECK_VERSION and GOVULNCHECK_VERSION
+// and must be bumped together with this file:
+//
+//	honnef.co/go/tools/cmd/staticcheck @ 2024.1.1
+//	golang.org/x/vuln/cmd/govulncheck  @ v1.1.3
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
