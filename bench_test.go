@@ -9,6 +9,7 @@ package logscape_test
 // EXPERIMENTS.md data source.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"logscape/internal/hospital"
 	"logscape/internal/logmodel"
 	"logscape/internal/sessions"
+	"logscape/internal/stream"
 )
 
 var (
@@ -481,6 +483,103 @@ func BenchmarkDelayAnalysis(b *testing.B) {
 	}
 	b.ReportMetric(float64(peaked), "causal-types")
 	b.ReportMetric(float64(len(types)), "types")
+}
+
+// --- Streaming benchmarks (internal/stream) ---------------------------------
+//
+// Stream/Batch pairs A/B the incremental window maintenance against
+// re-mining every window from scratch, on the same day and window
+// sequence; both report ns/advance (one advance = one bucket entering the
+// window plus a full model snapshot). The incremental Advance cost scales
+// with the bucket, not the window, so the stream variants stay flat as the
+// WindowScaling sub-benchmarks widen the window while the batch references
+// grow linearly with it.
+
+func streamWcfg(w int) stream.Config {
+	return stream.Config{
+		BucketWidth:   logmodel.MillisPerHour,
+		WindowBuckets: w,
+		Workers:       0,
+	}
+}
+
+func mkStreamL1(r *eval.Runner, wcfg stream.Config) stream.Miner {
+	cfg := r.Opts.L1
+	cfg.Workers = wcfg.Workers
+	return stream.NewL1(wcfg, cfg)
+}
+
+func mkStreamL2(r *eval.Runner, wcfg stream.Config) stream.Miner {
+	cfg := r.Opts.L2
+	cfg.Workers = wcfg.Workers
+	return stream.NewL2(wcfg, sessions.Config{}, cfg)
+}
+
+func mkStreamL3(r *eval.Runner, wcfg stream.Config) stream.Miner {
+	return stream.NewL3(wcfg, l3.NewMiner(r.Dir, l3.Config{Stops: r.Opts.Stops, Workers: wcfg.Workers}))
+}
+
+// benchmarkStreaming replays day 0 through a fresh stream miner per
+// iteration, snapshotting on every bucket advance.
+func benchmarkStreaming(b *testing.B, mk func(*eval.Runner, stream.Config) stream.Miner, w int) {
+	r := benchSetup(b)
+	entries := r.Stores[0].Entries()
+	wcfg := streamWcfg(w)
+	b.ResetTimer()
+	advances := 0
+	for i := 0; i < b.N; i++ {
+		m := mk(r, wcfg)
+		in := stream.NewIngester(wcfg, m)
+		advances = 0
+		in.OnAdvance = func(stream.Bucket) { m.Snapshot(); advances++ }
+		in.AddAll(entries)
+		in.Flush()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*advances), "ns/advance")
+}
+
+// benchmarkBatchWindows is the non-incremental reference: the same window
+// sequence, each window batch-mined from scratch.
+func benchmarkBatchWindows(b *testing.B, mk func(*eval.Runner, stream.Config) stream.Miner, w int) {
+	r := benchSetup(b)
+	entries := r.Stores[0].Entries()
+	wcfg := streamWcfg(w)
+	m := mk(r, wcfg)
+	type windowCase struct {
+		store *logmodel.Store
+		r     logmodel.TimeRange
+	}
+	var wins []windowCase
+	in := stream.NewIngester(wcfg)
+	in.OnAdvance = func(stream.Bucket) {
+		wins = append(wins, windowCase{store: in.WindowStore(), r: in.WindowRange()})
+	}
+	in.AddAll(entries)
+	in.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, wc := range wins {
+			m.Batch(wc.store, wc.r)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(wins)), "ns/advance")
+}
+
+func BenchmarkStreamL1Advance(b *testing.B)        { benchmarkStreaming(b, mkStreamL1, 6) }
+func BenchmarkStreamL1BatchReference(b *testing.B) { benchmarkBatchWindows(b, mkStreamL1, 6) }
+func BenchmarkStreamL2Advance(b *testing.B)        { benchmarkStreaming(b, mkStreamL2, 6) }
+func BenchmarkStreamL2BatchReference(b *testing.B) { benchmarkBatchWindows(b, mkStreamL2, 6) }
+func BenchmarkStreamL3Advance(b *testing.B)        { benchmarkStreaming(b, mkStreamL3, 6) }
+func BenchmarkStreamL3BatchReference(b *testing.B) { benchmarkBatchWindows(b, mkStreamL3, 6) }
+
+// BenchmarkStreamWindowScaling widens the window with the workload fixed:
+// ns/advance must stay flat for the incremental miner and grow ~linearly
+// for the batch reference.
+func BenchmarkStreamWindowScaling(b *testing.B) {
+	for _, w := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("stream-w%d", w), func(b *testing.B) { benchmarkStreaming(b, mkStreamL1, w) })
+		b.Run(fmt.Sprintf("batch-w%d", w), func(b *testing.B) { benchmarkBatchWindows(b, mkStreamL1, w) })
+	}
 }
 
 // BenchmarkSlotTest measures the core L1 primitive.

@@ -1,0 +1,183 @@
+package main
+
+// Follow mode: instead of mining a finished corpus once, tail a log stream
+// and re-emit the dependency model of a sliding time window as it moves.
+// Pair with `tail -f | depmine -follow -` for live operation; the mode
+// itself never consults the wallclock — time advances only as entry
+// timestamps do, so replaying a historical file reproduces the exact same
+// sequence of models (and the batch-equivalence contract of
+// internal/stream guarantees each of them matches a one-shot batch run
+// over the same window).
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+
+	"logscape/internal/core"
+	"logscape/internal/core/l1"
+	"logscape/internal/core/l2"
+	"logscape/internal/core/l3"
+	"logscape/internal/directory"
+	"logscape/internal/hospital"
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+	"logscape/internal/stream"
+)
+
+// runFollow tails one wire-format log stream ("-" = stdin, ".gz"
+// transparently decompressed) and, on every closed bucket, writes the
+// window's model document to stdout and a delta summary against the
+// previous window to stderr.
+func runFollow(method, dirPath string, timeout float64, minlogs, workers int,
+	nostops bool, bucketSec float64, windowBuckets int, files []string) error {
+
+	if len(files) != 1 {
+		return fmt.Errorf("follow mode tails exactly one log stream (a file or - for stdin)")
+	}
+	if bucketSec <= 0 || windowBuckets <= 0 {
+		return fmt.Errorf("follow mode requires -bucket > 0 and -window > 0")
+	}
+	wcfg := stream.Config{
+		BucketWidth:   logmodel.SecondsToMillis(bucketSec),
+		WindowBuckets: windowBuckets,
+		Workers:       workers,
+	}
+
+	var miner stream.Miner
+	switch method {
+	case "l1":
+		cfg := l1.DefaultConfig()
+		cfg.MinLogs = minlogs
+		cfg.Workers = workers
+		miner = stream.NewL1(wcfg, cfg)
+	case "l2":
+		cfg := l2.DefaultConfig()
+		cfg.Timeout = logmodel.SecondsToMillis(timeout)
+		if timeout == 0 {
+			cfg.Timeout = l2.NoTimeout
+		}
+		cfg.Workers = workers
+		miner = stream.NewL2(wcfg, sessions.Config{}, cfg)
+	case "l3":
+		if dirPath == "" {
+			return fmt.Errorf("l3 requires -dir")
+		}
+		df, err := os.Open(dirPath)
+		if err != nil {
+			return err
+		}
+		dir, err := directory.Read(df)
+		df.Close()
+		if err != nil {
+			return err
+		}
+		cfg := l3.DefaultConfig()
+		cfg.Workers = workers
+		if !nostops {
+			cfg.Stops = hospital.CanonicalStopPatterns()
+		}
+		miner = stream.NewL3(wcfg, l3.NewMiner(dir, cfg))
+	default:
+		return fmt.Errorf("follow mode supports l1, l2 and l3, not %q", method)
+	}
+
+	in := stream.NewIngester(wcfg, miner)
+	var prevPairs core.PairSet
+	var prevDeps core.AppServiceSet
+	var emitErr error
+	in.OnAdvance = func(b stream.Bucket) {
+		if emitErr != nil {
+			return
+		}
+		snap := miner.Snapshot()
+		if err := core.WriteModel(os.Stdout, snap); err != nil {
+			emitErr = err
+			return
+		}
+		r := in.WindowRange()
+		if method == "l3" {
+			cur := snap.DepSet()
+			gone, born := core.DiffDeps(prevDeps, cur)
+			fmt.Fprintf(os.Stderr, "window [%s .. %s): %d deps",
+				r.Start.Time().Format("2006-01-02T15:04:05"),
+				r.End.Time().Format("2006-01-02T15:04:05"), len(cur))
+			for _, d := range born {
+				fmt.Fprintf(os.Stderr, " +%s->%s", d.App, d.Group)
+			}
+			for _, d := range gone {
+				fmt.Fprintf(os.Stderr, " -%s->%s", d.App, d.Group)
+			}
+			fmt.Fprintln(os.Stderr)
+			prevDeps = cur
+		} else {
+			cur := snap.PairSet()
+			gone, born := core.DiffModels(prevPairs, cur)
+			fmt.Fprintf(os.Stderr, "window [%s .. %s): %d pairs",
+				r.Start.Time().Format("2006-01-02T15:04:05"),
+				r.End.Time().Format("2006-01-02T15:04:05"), len(cur))
+			for _, p := range born {
+				fmt.Fprintf(os.Stderr, " +%s--%s", p.A, p.B)
+			}
+			for _, p := range gone {
+				fmt.Fprintf(os.Stderr, " -%s--%s", p.A, p.B)
+			}
+			fmt.Fprintln(os.Stderr)
+			prevPairs = cur
+		}
+	}
+
+	src, closeSrc, err := openStream(files[0])
+	if err != nil {
+		return err
+	}
+	defer closeSrc()
+
+	rd := logmodel.NewReader(src)
+	malformed := 0
+	for {
+		e, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A live stream may carry the odd truncated line; skip and
+			// keep following rather than dying mid-tail.
+			malformed++
+			continue
+		}
+		in.Add(e)
+		if emitErr != nil {
+			return emitErr
+		}
+	}
+	in.Flush()
+	if emitErr != nil {
+		return emitErr
+	}
+	s := in.Stats()
+	fmt.Fprintf(os.Stderr, "follow done: %d entries in %d buckets (%d late, %d corrupt, %d malformed lines)\n",
+		s.Accepted, s.Buckets, s.Late, s.Corrupt, malformed)
+	return nil
+}
+
+// openStream opens the follow input: "-" is stdin, ".gz" is decompressed.
+func openStream(name string) (io.Reader, func(), error) {
+	if name == "-" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(name) > 3 && name[len(name)-3:] == ".gz" {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return zr, func() { zr.Close(); f.Close() }, nil
+	}
+	return f, func() { f.Close() }, nil
+}

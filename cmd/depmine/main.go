@@ -20,6 +20,14 @@
 //	-direction      L2: print the §5 direction heuristic for mined pairs
 //	-workers N      mining parallelism for every method (0 = all cores,
 //	                1 = sequential); results are identical for any N
+//
+// Follow mode (streaming):
+//
+//	-follow         tail one log stream (a file or - for stdin) and emit the
+//	                sliding-window model on every closed bucket: a model
+//	                document to stdout, a delta summary to stderr
+//	-bucket SEC     bucket width in seconds (default 3600)
+//	-window N       window size in buckets (default 24)
 package main
 
 import (
@@ -52,13 +60,22 @@ func main() {
 	nostops := flag.Bool("nostops", false, "L3: disable the canonical stop patterns")
 	direction := flag.Bool("direction", false, "L2: print direction hints for mined pairs")
 	workers := flag.Int("workers", 0, "mining parallelism: 0 = all cores, 1 = sequential (results are identical for any value)")
+	follow := flag.Bool("follow", false, "streaming mode: tail one log stream and emit the sliding-window model per bucket")
+	bucketSec := flag.Float64("bucket", 3600, "follow mode: bucket width in seconds")
+	windowN := flag.Int("window", 24, "follow mode: window size in buckets")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "depmine: at least one log file is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*method, *dirPath, *truthPath, *dotPath, *jsonPath, *impact, *timeout, *minlogs, *workers, *nostops, *direction, flag.Args()); err != nil {
+	var err error
+	if *follow {
+		err = runFollow(*method, *dirPath, *timeout, *minlogs, *workers, *nostops, *bucketSec, *windowN, flag.Args())
+	} else {
+		err = run(*method, *dirPath, *truthPath, *dotPath, *jsonPath, *impact, *timeout, *minlogs, *workers, *nostops, *direction, flag.Args())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "depmine:", err)
 		os.Exit(1)
 	}

@@ -302,11 +302,16 @@ func (r *Result) DependentPairs() core.PairSet {
 
 // pairSeed derives a deterministic RNG seed for one (slot, pair) test, so
 // mining results do not depend on iteration order or parallel scheduling.
-func pairSeed(base int64, slot int, p core.Pair) int64 {
+// The slot is identified by its absolute start time, not its index in the
+// window: a slot's outcome is then a function of the slot's content alone,
+// which lets the streaming miner (internal/stream) cache per-slot outcomes
+// across window advances and still reproduce the batch result byte for
+// byte.
+func pairSeed(base int64, slotStart logmodel.Millis, p core.Pair) int64 {
 	h := fnv.New64a()
 	var buf [16]byte
 	binary.LittleEndian.PutUint64(buf[:8], uint64(base))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(slot))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(slotStart))
 	h.Write(buf[:])
 	io.WriteString(h, p.A)
 	h.Write([]byte{0})
@@ -362,62 +367,102 @@ func MineSlots(store *logmodel.Store, slots []logmodel.TimeRange, sources []stri
 	if sources == nil {
 		sources = store.Sources()
 	}
-	res := &Result{Pairs: make(map[core.Pair]PairResult), Config: cfg}
+	// Fan the slots out over the shared worker pool; outcome positions are
+	// fixed by slot index, so the fold below is scheduling-independent. The
+	// per-slot computation runs sequentially (inner Workers: 1) — the slots
+	// themselves are the unit of parallelism here.
+	inner := cfg
+	inner.Workers = 1
+	outcomes := parallel.Map(parallel.Workers(cfg.Workers), len(slots), func(si int) []SlotOutcome {
+		return SlotOutcomes(store.Range(slots[si]), slots[si], sources, inner)
+	})
+	return FoldOutcomes(sources, len(slots), outcomes, cfg)
+}
 
-	// Initialize all pairs so support/ratio are well-defined even for
-	// never-supported pairs.
+// SlotOutcome is the outcome of the per-slot test for one eligible pair —
+// the unit of incremental L1 state: a slot's outcomes depend only on the
+// slot's entries and the absolute slot range, never on the slot's position
+// in the window.
+type SlotOutcome struct {
+	Pair     core.Pair
+	Positive bool
+}
+
+// SlotOutcomes runs the slot test for every eligible pair of one slot over
+// the slot's entries (which must be time-sorted and lie within the slot).
+// sources restricts the applications considered; nil means every source
+// appearing in the slot. Pairs fan out over Config.Workers; outcomes are
+// returned in lexicographic pair order regardless of the worker count.
+func SlotOutcomes(entries []logmodel.Entry, slot logmodel.TimeRange, sources []string, cfg Config) []SlotOutcome {
+	cfg = cfg.withDefaults()
+	idx := make(map[string][]logmodel.Millis)
+	for i := range entries {
+		e := &entries[i]
+		idx[e.Source] = append(idx[e.Source], e.Time)
+	}
+	if sources == nil {
+		sources = make([]string, 0, len(idx))
+		for s := range idx {
+			sources = append(sources, s)
+		}
+		sort.Strings(sources)
+	}
+	var eligible []string
+	for _, s := range sources {
+		if len(idx[s]) >= cfg.MinLogs {
+			eligible = append(eligible, s)
+		}
+	}
+	var total []logmodel.Millis
+	if cfg.Reference == RefTotalActivity {
+		total = make([]logmodel.Millis, len(entries))
+		for k := range entries {
+			total[k] = entries[k].Time
+		}
+	}
+	pairs := make([]core.Pair, 0, len(eligible)*(len(eligible)-1)/2)
+	for i := range eligible {
+		for j := i + 1; j < len(eligible); j++ {
+			pairs = append(pairs, core.MakePair(eligible[i], eligible[j]))
+		}
+	}
+	return parallel.Map(parallel.Workers(cfg.Workers), len(pairs), func(k int) SlotOutcome {
+		p := pairs[k]
+		rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, slot.Start, p)))
+		return SlotOutcome{
+			Pair:     p,
+			Positive: SlotTestRef(rng, idx[p.A], idx[p.B], total, slot, cfg),
+		}
+	})
+}
+
+// FoldOutcomes tallies per-slot outcome lists into the final Result: support
+// and positive counts per pair, then the §3.1 threshold decision over slots
+// total slots. sources, when non-nil, pre-initializes every pair so
+// support/ratio diagnostics are well-defined even for never-supported pairs;
+// the dependent set is unaffected (an unsupported pair never clears ThPr).
+// The fold is pure integer tallying, so it is independent of the order in
+// which equal outcome lists were produced.
+func FoldOutcomes(sources []string, slots int, outcomes [][]SlotOutcome, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{Pairs: make(map[core.Pair]PairResult), Config: cfg}
 	for i := range sources {
 		for j := i + 1; j < len(sources); j++ {
 			p := core.MakePair(sources[i], sources[j])
-			res.Pairs[p] = PairResult{Pair: p, Slots: len(slots)}
+			res.Pairs[p] = PairResult{Pair: p, Slots: slots}
 		}
 	}
-
-	type slotOutcome struct {
-		pair     core.Pair
-		positive bool
-	}
-	// Fan the slots out over the shared worker pool; outcome positions are
-	// fixed by slot index, so the merge below is scheduling-independent.
-	outcomes := parallel.Map(parallel.Workers(cfg.Workers), len(slots), func(si int) []slotOutcome {
-		slot := slots[si]
-		idx := store.SourceIndexRange(slot)
-		var eligible []string
-		for _, s := range sources {
-			if len(idx[s]) >= cfg.MinLogs {
-				eligible = append(eligible, s)
-			}
-		}
-		var total []logmodel.Millis
-		if cfg.Reference == RefTotalActivity {
-			entries := store.Range(slot)
-			total = make([]logmodel.Millis, len(entries))
-			for k := range entries {
-				total[k] = entries[k].Time
-			}
-		}
-		var out []slotOutcome
-		for i := range eligible {
-			for j := i + 1; j < len(eligible); j++ {
-				p := core.MakePair(eligible[i], eligible[j])
-				rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, si, p)))
-				out = append(out, slotOutcome{
-					pair:     p,
-					positive: SlotTestRef(rng, idx[p.A], idx[p.B], total, slot, cfg),
-				})
-			}
-		}
-		return out
-	})
-
 	for _, out := range outcomes {
 		for _, o := range out {
-			pr := res.Pairs[o.pair]
+			pr, ok := res.Pairs[o.Pair]
+			if !ok {
+				pr = PairResult{Pair: o.Pair, Slots: slots}
+			}
 			pr.Support++
-			if o.positive {
+			if o.Positive {
 				pr.Positive++
 			}
-			res.Pairs[o.pair] = pr
+			res.Pairs[o.Pair] = pr
 		}
 	}
 	for p, pr := range res.Pairs {

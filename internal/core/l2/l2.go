@@ -124,22 +124,57 @@ type Counts struct {
 	Total float64
 }
 
-// CountBigrams tallies the bigrams of all sessions under the timeout.
-func CountBigrams(ss []sessions.Session, timeout logmodel.Millis) *Counts {
-	c := &Counts{
+// NewCounts returns an empty aggregation.
+func NewCounts() *Counts {
+	return &Counts{
 		Joint:  make(map[Bigram]float64),
 		First:  make(map[string]float64),
 		Second: make(map[string]float64),
 	}
+}
+
+// CountBigrams tallies the bigrams of all sessions under the timeout.
+func CountBigrams(ss []sessions.Session, timeout logmodel.Millis) *Counts {
+	c := NewCounts()
 	for i := range ss {
-		for _, b := range ExtractBigrams(&ss[i], timeout) {
-			c.Joint[b]++
-			c.First[b.First]++
-			c.Second[b.Second]++
-			c.Total++
-		}
+		c.Add(ExtractBigrams(&ss[i], timeout))
 	}
 	return c
+}
+
+// Add tallies the given bigram occurrences. All counts are integer-valued
+// floats, so repeated Add/Remove round trips are exact.
+func (c *Counts) Add(bs []Bigram) {
+	for _, b := range bs {
+		c.Joint[b]++
+		c.First[b.First]++
+		c.Second[b.Second]++
+		c.Total++
+	}
+}
+
+// Remove untallies bigram occurrences previously added with Add. Keys whose
+// count returns to zero are deleted, so an incrementally maintained Counts
+// stays structurally identical (reflect.DeepEqual) to a from-scratch tally
+// of the surviving sessions — the invariant the streaming miner's
+// batch-equivalence contract rests on. Counts are integer-valued floats, so
+// the zero test is exact.
+func (c *Counts) Remove(bs []Bigram) {
+	for _, b := range bs {
+		c.Joint[b]--
+		if c.Joint[b] == 0 { //lint:allow floateq integer-valued counts, subtraction is exact so the zero test is too
+			delete(c.Joint, b)
+		}
+		c.First[b.First]--
+		if c.First[b.First] == 0 { //lint:allow floateq integer-valued counts, subtraction is exact so the zero test is too
+			delete(c.First, b.First)
+		}
+		c.Second[b.Second]--
+		if c.Second[b.Second] == 0 { //lint:allow floateq integer-valued counts, subtraction is exact so the zero test is too
+			delete(c.Second, b.Second)
+		}
+		c.Total--
+	}
 }
 
 // CountBigramsParallel is CountBigrams over session shards: each of up to
@@ -227,8 +262,16 @@ func (r *Result) DependentPairs() core.PairSet {
 // worker pool; results are identical for every Config.Workers setting.
 func Mine(ss []sessions.Session, cfg Config) *Result {
 	cfg = cfg.withDefaults()
-	workers := parallel.Workers(cfg.Workers)
-	counts := CountBigramsParallel(ss, cfg.Timeout, workers)
+	return ResultFromCounts(CountBigramsParallel(ss, cfg.Timeout, parallel.Workers(cfg.Workers)), cfg)
+}
+
+// ResultFromCounts runs the per-type association tests over an existing
+// bigram aggregation — the second half of Mine, split out so an
+// incrementally maintained Counts (internal/stream) yields the exact model
+// a batch run over the same corpus would. The tests fan out over
+// Config.Workers; counts is retained in the result, not modified.
+func ResultFromCounts(counts *Counts, cfg Config) *Result {
+	cfg = cfg.withDefaults()
 	res := &Result{Types: make(map[Bigram]TypeResult), Counts: counts, Config: cfg}
 	types := make([]Bigram, 0, len(counts.Joint))
 	for t := range counts.Joint {
@@ -240,7 +283,7 @@ func Mine(ss []sessions.Session, cfg Config) *Result {
 		}
 		return types[i].Second < types[j].Second
 	})
-	for _, tr := range parallel.Map(workers, len(types), func(i int) TypeResult {
+	for _, tr := range parallel.Map(parallel.Workers(cfg.Workers), len(types), func(i int) TypeResult {
 		return testType(counts, types[i], cfg)
 	}) {
 		res.Types[tr.Type] = tr

@@ -121,20 +121,26 @@ func (m *Miner) Mine(store *logmodel.Store, r logmodel.TimeRange) *Result {
 	res := &Result{Evidence: make(map[core.AppServicePair]*Evidence), Config: m.cfg}
 	parts := parallel.MapShards(parallel.Workers(m.cfg.Workers), len(entries),
 		func(lo, hi int) map[core.AppServicePair]*Evidence {
-			return m.scan(entries[lo:hi])
+			return m.Scan(entries[lo:hi])
 		})
 	if len(parts) == 1 {
 		res.Evidence = parts[0]
 		return res
 	}
 	for _, part := range parts {
-		mergeEvidence(res.Evidence, part)
+		MergeEvidence(res.Evidence, part)
 	}
 	return res
 }
 
-// scan runs the sequential citation scan over one contiguous entry shard.
-func (m *Miner) scan(entries []logmodel.Entry) map[core.AppServicePair]*Evidence {
+// Config returns the miner's effective configuration.
+func (m *Miner) Config() Config { return m.cfg }
+
+// Scan runs the sequential citation scan over one contiguous, time-ordered
+// entry shard — the incremental unit of L3 state: per-bucket evidence maps
+// folded in time order with MergeEvidence reproduce a sequential scan of
+// the concatenated entries exactly.
+func (m *Miner) Scan(entries []logmodel.Entry) map[core.AppServicePair]*Evidence {
 	out := make(map[core.AppServicePair]*Evidence)
 	for i := range entries {
 		e := &entries[i]
@@ -167,16 +173,19 @@ func (m *Miner) scan(entries []logmodel.Entry) map[core.AppServicePair]*Evidence
 	return out
 }
 
-// mergeEvidence folds the evidence of a later shard into dst. Invariant of
-// scan: when Count > 0, First/Last span the counted citations; when
+// MergeEvidence folds the evidence of a later shard into dst. Invariant of
+// Scan: when Count > 0, First/Last span the counted citations; when
 // Count == 0 (only stopped citations), First == Last == the first citation.
 // Folding shards in time order preserves exactly that invariant, so the
-// merged evidence matches a sequential scan field for field.
-func mergeEvidence(dst, src map[core.AppServicePair]*Evidence) {
+// merged evidence matches a sequential scan field for field. src is never
+// mutated and no *Evidence of src is retained in dst (inserts copy), so the
+// streaming miner can fold the same per-bucket maps on every Snapshot.
+func MergeEvidence(dst, src map[core.AppServicePair]*Evidence) {
 	for p, sv := range src {
 		dv := dst[p]
 		if dv == nil {
-			dst[p] = sv
+			cp := *sv
+			dst[p] = &cp
 			continue
 		}
 		if sv.Count > 0 {

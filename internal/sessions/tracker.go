@@ -1,0 +1,222 @@
+package sessions
+
+import (
+	"sort"
+
+	"logscape/internal/logmodel"
+)
+
+// Tracker maintains the user sessions of a sliding log window incrementally
+// — the boundary-spanning session carry-over state of the streaming miner
+// (internal/stream). Where Build recomputes every session from the full
+// window, a Tracker is fed only the entries entering the window (Append)
+// and the cutoff of entries leaving it (Retire), and reports how the set of
+// *kept* sessions changed as deltas. Invariant: after any Append/Retire
+// sequence the tracker's kept sessions equal Build over a store holding
+// exactly the surviving entries — the batch-equivalence contract.
+//
+// Window boundaries are half-open, like every TimeRange in the tree:
+// Retire(cutoff) removes entries with Time < cutoff and keeps entries at
+// exactly the cutoff. A session whose entries all land on the boundary
+// timestamp therefore survives — an earlier draft compared with <= and
+// silently dropped it, diverging from the batch miner on windows whose
+// start coincides with a log burst (see TestTrackerBoundarySessionSurvives).
+//
+// Entries must be appended in non-decreasing time order (the Ingester
+// sorts each bucket before delivery); simultaneous entries keep their
+// append order, matching the stable sort of a batch store.
+type Tracker struct {
+	cfg   Config
+	users map[string]*trackedUser
+}
+
+// trackedUser holds one user's maximal gap-free runs in time order. Only
+// the first and last run can be touched by window movement: retirement
+// truncates from the front, new entries extend at the back — interior runs
+// are immutable, which is what makes the tracker incremental.
+type trackedUser struct {
+	runs []trackedRun
+}
+
+// trackedRun is one maximal run of a user's entries in which no consecutive
+// gap exceeds MaxGap — a candidate session; it is "kept" (counted as a
+// session) when it clears the MinEntries/MinSources filters.
+type trackedRun struct {
+	entries []logmodel.Entry
+}
+
+// SessionDelta reports one change to the set of kept sessions: Removed no
+// longer stands as previously reported, Added stands now. Either side may
+// be nil (a session appearing, disappearing, or being replaced by a grown
+// or truncated version of itself). Consumers maintaining derived tallies
+// subtract Removed and add Added; because a run's entry sequence only ever
+// gains a suffix or loses a prefix, the net effect is exact.
+type SessionDelta struct {
+	Removed, Added *Session
+}
+
+// NewTracker returns an empty tracker with the given session configuration
+// (zero fields are replaced by the Build defaults).
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), users: make(map[string]*trackedUser)}
+}
+
+// kept reports whether a run clears the session filters.
+func (t *Tracker) kept(es []logmodel.Entry) bool {
+	if len(es) < t.cfg.MinEntries {
+		return false
+	}
+	seen := make(map[string]bool, t.cfg.MinSources)
+	for i := range es {
+		seen[es[i].Source] = true
+		if len(seen) >= t.cfg.MinSources {
+			return true
+		}
+	}
+	return false
+}
+
+// session materializes a run as a Session.
+func session(user string, es []logmodel.Entry) *Session {
+	return &Session{User: user, Entries: es}
+}
+
+// Append feeds the entries entering the window, in time order, and returns
+// the kept-session deltas. Entries without a user id are ignored (they are
+// not assignable to sessions). The cost is O(len(es) + touched tail runs).
+func (t *Tracker) Append(es []logmodel.Entry) []SessionDelta {
+	// Per touched user, the tail-run state at first touch: the old entry
+	// slice header stays valid even if the run's slice is grown (append
+	// copies on reallocation), so it is the pre-image for the delta.
+	type touch struct {
+		user    string
+		tailIdx int
+		tailOld []logmodel.Entry
+	}
+	var touched []touch
+	seen := make(map[string]bool)
+	for i := range es {
+		e := es[i]
+		if e.User == "" {
+			continue
+		}
+		u := t.users[e.User]
+		if u == nil {
+			u = &trackedUser{}
+			t.users[e.User] = u
+		}
+		if !seen[e.User] {
+			seen[e.User] = true
+			tc := touch{user: e.User, tailIdx: len(u.runs) - 1}
+			if tc.tailIdx >= 0 {
+				tc.tailOld = u.runs[tc.tailIdx].entries
+			}
+			touched = append(touched, tc)
+		}
+		if n := len(u.runs); n > 0 {
+			last := u.runs[n-1].entries
+			prev := last[len(last)-1].Time
+			if e.Time < prev {
+				panic("sessions: Tracker.Append requires non-decreasing entry times")
+			}
+			if e.Time-prev <= t.cfg.MaxGap {
+				u.runs[n-1].entries = append(u.runs[n-1].entries, e)
+				continue
+			}
+		}
+		u.runs = append(u.runs, trackedRun{entries: []logmodel.Entry{e}})
+	}
+
+	var deltas []SessionDelta
+	for _, tc := range touched {
+		u := t.users[tc.user]
+		if tc.tailIdx >= 0 && len(u.runs[tc.tailIdx].entries) > len(tc.tailOld) {
+			// The pre-existing tail run was extended.
+			var d SessionDelta
+			if t.kept(tc.tailOld) {
+				d.Removed = session(tc.user, tc.tailOld)
+			}
+			if t.kept(u.runs[tc.tailIdx].entries) {
+				d.Added = session(tc.user, u.runs[tc.tailIdx].entries)
+			}
+			if d.Removed != nil || d.Added != nil {
+				deltas = append(deltas, d)
+			}
+		}
+		for idx := tc.tailIdx + 1; idx < len(u.runs); idx++ {
+			if t.kept(u.runs[idx].entries) {
+				deltas = append(deltas, SessionDelta{Added: session(tc.user, u.runs[idx].entries)})
+			}
+		}
+	}
+	return deltas
+}
+
+// Retire drops every tracked entry with Time < cutoff (half-open: entries
+// at exactly the cutoff stay) and returns the kept-session deltas. users
+// names the users that may be affected — typically the users of the
+// retiring bucket, keeping the cost O(bucket) instead of O(all users); it
+// must be a superset of the users with entries before the cutoff, in a
+// deterministic order. Unknown users are ignored.
+func (t *Tracker) Retire(cutoff logmodel.Millis, users []string) []SessionDelta {
+	var deltas []SessionDelta
+	for _, user := range users {
+		u := t.users[user]
+		if u == nil {
+			continue
+		}
+		// Whole leading runs before the cutoff disappear.
+		for len(u.runs) > 0 {
+			es := u.runs[0].entries
+			if es[len(es)-1].Time >= cutoff {
+				break
+			}
+			if t.kept(es) {
+				deltas = append(deltas, SessionDelta{Removed: session(user, es)})
+			}
+			u.runs = u.runs[1:]
+		}
+		// A run straddling the cutoff loses its prefix; the remaining
+		// entries still form one run (interior gaps are untouched).
+		if len(u.runs) > 0 && u.runs[0].entries[0].Time < cutoff {
+			old := u.runs[0].entries
+			k := sort.Search(len(old), func(i int) bool { return old[i].Time >= cutoff })
+			var d SessionDelta
+			if t.kept(old) {
+				d.Removed = session(user, old)
+			}
+			if t.kept(old[k:]) {
+				d.Added = session(user, old[k:])
+			}
+			u.runs[0].entries = old[k:]
+			if d.Removed != nil || d.Added != nil {
+				deltas = append(deltas, d)
+			}
+		}
+		if len(u.runs) == 0 {
+			delete(t.users, user)
+		}
+	}
+	return deltas
+}
+
+// Sessions returns the currently kept sessions, ordered like Build (by
+// start time, then user) — the tracker's answer to "what would a batch
+// session build over the surviving entries return".
+func (t *Tracker) Sessions() []Session {
+	var out []Session
+	for user, u := range t.users {
+		for _, r := range u.runs {
+			if t.kept(r.entries) {
+				out = append(out, Session{User: user, Entries: r.entries})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start() != out[j].Start() {
+			return out[i].Start() < out[j].Start()
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}

@@ -1,0 +1,202 @@
+package sessions
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"logscape/internal/logmodel"
+)
+
+// buildFromEntries runs the batch session builder over the given entries.
+func buildFromEntries(es []logmodel.Entry, cfg Config) []Session {
+	s := logmodel.NewStore(len(es))
+	s.AppendAll(es)
+	s.Sort()
+	out, _ := Build(s, cfg)
+	return out
+}
+
+// TestTrackerBoundarySessionSurvives is the regression test for the
+// window-boundary bug: a session whose entries all land exactly on the
+// retirement cutoff must survive, because windows are half-open — the
+// cutoff instant belongs to the surviving side. A closed-interval
+// comparison (Time <= cutoff) silently dropped exactly this session.
+func TestTrackerBoundarySessionSurvives(t *testing.T) {
+	cfg := Config{MaxGap: logmodel.MillisPerMinute, MinEntries: 2, MinSources: 2}
+	tr := NewTracker(cfg)
+	cutoff := logmodel.Millis(10 * logmodel.MillisPerHour)
+
+	// Both entries at exactly the cutoff timestamp.
+	deltas := tr.Append([]logmodel.Entry{
+		entry(cutoff, "A", "u1"),
+		entry(cutoff, "B", "u1"),
+	})
+	if len(deltas) != 1 || deltas[0].Added == nil {
+		t.Fatalf("expected one added session, got %+v", deltas)
+	}
+
+	if ds := tr.Retire(cutoff, []string{"u1"}); len(ds) != 0 {
+		t.Errorf("retire at the session's own timestamp produced deltas: %+v", ds)
+	}
+	if got := tr.Sessions(); len(got) != 1 {
+		t.Fatalf("boundary session dropped by Retire: %d sessions left", len(got))
+	}
+
+	// One millisecond later the entries are strictly before the cutoff and
+	// must go.
+	ds := tr.Retire(cutoff+1, []string{"u1"})
+	if len(ds) != 1 || ds[0].Removed == nil || ds[0].Added != nil {
+		t.Fatalf("expected one removed session, got %+v", ds)
+	}
+	if got := tr.Sessions(); len(got) != 0 {
+		t.Fatalf("sessions left after full retirement: %d", len(got))
+	}
+}
+
+// TestTrackerStraddlingRunTruncation: retiring the prefix of a run keeps
+// the suffix as one session iff it still clears the filters, and reports
+// the replacement as a Removed/Added pair.
+func TestTrackerStraddlingRunTruncation(t *testing.T) {
+	cfg := Config{MaxGap: logmodel.MillisPerMinute, MinEntries: 2, MinSources: 2}
+	tr := NewTracker(cfg)
+	base := logmodel.Millis(0)
+	tr.Append([]logmodel.Entry{
+		entry(base, "A", "u1"),
+		entry(base+10, "B", "u1"),
+		entry(base+20, "C", "u1"),
+		entry(base+30, "D", "u1"),
+	})
+	ds := tr.Retire(base+15, []string{"u1"})
+	if len(ds) != 1 || ds[0].Removed == nil || ds[0].Added == nil {
+		t.Fatalf("expected a Removed/Added replacement, got %+v", ds)
+	}
+	if n := len(ds[0].Added.Entries); n != 2 {
+		t.Errorf("truncated session has %d entries, want 2", n)
+	}
+	// Truncating below MinEntries removes without replacement.
+	ds = tr.Retire(base+25, []string{"u1"})
+	if len(ds) != 1 || ds[0].Removed == nil || ds[0].Added != nil {
+		t.Fatalf("expected removal without replacement, got %+v", ds)
+	}
+}
+
+// TestTrackerMatchesBuild drives a tracker through random append/retire
+// sequences and checks after every step that its kept sessions equal a
+// batch Build over the surviving entries.
+func TestTrackerMatchesBuild(t *testing.T) {
+	const seed = 4242
+	rng := rand.New(rand.NewSource(seed))
+	cfg := Config{MaxGap: 40, MinEntries: 3, MinSources: 2}
+	tr := NewTracker(cfg)
+	users := []string{"u1", "u2", "u3", ""}
+	sourcesOf := []string{"A", "B", "C"}
+
+	var live []logmodel.Entry
+	now := logmodel.Millis(0)
+	cutoff := logmodel.Millis(0)
+	for step := 0; step < 300; step++ {
+		if rng.Intn(3) < 2 {
+			// Append a small burst of time-ordered entries.
+			var batch []logmodel.Entry
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				now += logmodel.Millis(rng.Intn(60))
+				batch = append(batch, entry(now, sourcesOf[rng.Intn(len(sourcesOf))],
+					users[rng.Intn(len(users))]))
+			}
+			tr.Append(batch)
+			for _, e := range batch {
+				if e.User != "" {
+					live = append(live, e)
+				}
+			}
+		} else {
+			cutoff += logmodel.Millis(rng.Intn(120))
+			affected := map[string]bool{}
+			var kept []logmodel.Entry
+			for _, e := range live {
+				if e.Time < cutoff {
+					affected[e.User] = true
+				} else {
+					kept = append(kept, e)
+				}
+			}
+			var names []string
+			for u := range affected {
+				names = append(names, u)
+			}
+			sort.Strings(names)
+			tr.Retire(cutoff, names)
+			live = kept
+		}
+		want := buildFromEntries(live, cfg)
+		got := tr.Sessions()
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d (seed %d): tracker sessions diverge from Build\n got: %s\nwant: %s",
+				step, seed, describe(got), describe(want))
+		}
+	}
+}
+
+// TestTrackerDeltasAreConsistent replays the deltas into a multiset of
+// sessions and checks it always equals the tracker's kept set — the
+// property the L2 streaming counts rely on.
+func TestTrackerDeltasAreConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := Config{MaxGap: 30, MinEntries: 2, MinSources: 2}
+	tr := NewTracker(cfg)
+	replay := map[string]int{}
+	apply := func(ds []SessionDelta) {
+		for _, d := range ds {
+			if d.Removed != nil {
+				k := describe([]Session{*d.Removed})
+				replay[k]--
+				if replay[k] == 0 {
+					delete(replay, k)
+				}
+			}
+			if d.Added != nil {
+				replay[describe([]Session{*d.Added})]++
+			}
+		}
+	}
+	now := logmodel.Millis(0)
+	cutoff := logmodel.Millis(0)
+	usersOf := []string{"u1", "u2"}
+	for step := 0; step < 200; step++ {
+		if rng.Intn(3) < 2 {
+			now += logmodel.Millis(rng.Intn(50))
+			u := usersOf[rng.Intn(len(usersOf))]
+			apply(tr.Append([]logmodel.Entry{entry(now, string(rune('A'+rng.Intn(3))), u)}))
+		} else {
+			cutoff += logmodel.Millis(rng.Intn(100))
+			apply(tr.Retire(cutoff, usersOf))
+		}
+		want := map[string]int{}
+		for _, s := range tr.Sessions() {
+			want[describe([]Session{s})]++
+		}
+		if !reflect.DeepEqual(replay, want) {
+			t.Fatalf("step %d: delta replay diverged\n got %v\nwant %v", step, replay, want)
+		}
+	}
+}
+
+// describe renders sessions compactly for failure messages and multiset
+// keys.
+func describe(ss []Session) string {
+	out := ""
+	for _, s := range ss {
+		out += fmt.Sprintf("%s[", s.User)
+		for _, e := range s.Entries {
+			out += fmt.Sprintf("%s@%d ", e.Source, e.Time)
+		}
+		out += "] "
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"logscape/internal/core"
+	"logscape/internal/core/l1"
+	"logscape/internal/core/l2"
+	"logscape/internal/core/l3"
+	"logscape/internal/directory"
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+)
+
+// FuzzIngester feeds arbitrary wire-format text to the full streaming
+// pipeline. Lines are parsed individually (parse failures are skipped, so
+// the fuzzer can splice entries freely) and delivered in input order —
+// including out-of-order timestamps, far jumps, entries landing exactly on
+// bucket boundaries, and the extreme timestamps the wire parser happily
+// accepts. Invariants: nothing panics, and after the final flush every
+// miner's Snapshot still equals its batch reference over the ingester's
+// window store. The seeds reuse the FuzzReadLogs corpus shapes plus
+// streaming-specific ones; small buckets and MinLogs/MinJoint floors keep
+// the miners non-trivially exercised at fuzz scale.
+func FuzzIngester(f *testing.F) {
+	f.Add("2005-12-06T08:00:00.000Z\tDPIFormidoc\thost1\tu17\tINFO\thello world")
+	f.Add("2005-12-06T08:00:00.000Z\tA\t\t\tDEBUG\ttabbed\\tmessage\n" +
+		"2005-12-06T08:00:01.500Z\tB\th\tu\tERROR\tline\\nbreak and back\\\\slash")
+	f.Add("2005-12-06T23:59:59.999+01:00\tApp2\thost\t\tWARN\toffset timestamp")
+	f.Add("\n\n2005-12-06T08:00:00.000Z\tX\th\tu\tINFO\tafter blank lines\n\n")
+	f.Add("not a log line")
+	f.Add("2005-12-06T08:00:02.000Z\tLate\th\tu\tINFO\tsecond\n" +
+		"2005-12-06T08:00:01.000Z\tEarly\th\tu\tINFO\tfirst")
+	// A session riding a bucket boundary, citations, and a far jump.
+	f.Add("2005-12-06T08:00:00.999Z\tA\th\tu1\tINFO\tcall DPIREG start\n" +
+		"2005-12-06T08:00:01.000Z\tB\th\tu1\tINFO\ton the boundary\n" +
+		"2005-12-06T08:00:01.001Z\tA\th\tu1\tINFO\tGET /reg/list\n" +
+		"2005-12-06T08:00:01.010Z\tB\th\tu1\tINFO\tdone\n" +
+		"2005-12-07T09:00:00.000Z\tA\th\tu1\tINFO\tnext day entirely")
+	// Extreme timestamps the wire format can produce.
+	f.Add("0001-01-01T00:00:00.000Z\tA\th\tu\tINFO\tancient\n" +
+		"9999-12-31T23:59:59.999Z\tB\th\tu\tINFO\tfar future")
+
+	dir := &directory.Directory{Version: 1, Groups: []directory.Group{
+		{ID: "DPIREG", RootURL: "http://reg.hug/reg"},
+	}}
+
+	f.Fuzz(func(t *testing.T, data string) {
+		wcfg := Config{BucketWidth: logmodel.MillisPerSecond, WindowBuckets: 4}
+		l1cfg := l1.DefaultConfig()
+		l1cfg.MinLogs = 2
+		l1cfg.SampleSize = 8
+		miners := []Miner{
+			NewL1(wcfg, l1cfg),
+			NewL2(wcfg, sessions.Config{MaxGap: 500, MinEntries: 2, MinSources: 2},
+				l2.Config{MinJoint: 1, Alpha: 0.05, Timeout: 500, Measure: l2.MeasureG2}),
+			NewL3(wcfg, l3.NewMiner(dir, l3.DefaultConfig())),
+		}
+		in := NewIngester(wcfg, miners...)
+		for _, line := range strings.Split(data, "\n") {
+			e, err := logmodel.ParseEntry(line)
+			if err != nil {
+				continue
+			}
+			in.Add(e)
+		}
+		in.Flush()
+
+		win, r := in.WindowStore(), in.WindowRange()
+		for _, m := range miners {
+			snap, batch := m.Snapshot(), m.Batch(win, r)
+			var sb, bb bytes.Buffer
+			if err := core.WriteModel(&sb, snap); err != nil {
+				t.Fatalf("serialize snapshot: %v", err)
+			}
+			if err := core.WriteModel(&bb, batch); err != nil {
+				t.Fatalf("serialize batch: %v", err)
+			}
+			if !bytes.Equal(sb.Bytes(), bb.Bytes()) {
+				t.Fatalf("%s: stream snapshot diverges from batch over the window\nstream: %s\nbatch:  %s\ninput: %q",
+					snap.Technique, sb.String(), bb.String(), data)
+			}
+		}
+	})
+}

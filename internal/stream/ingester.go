@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"sort"
+
+	"logscape/internal/logmodel"
+)
+
+// IngestStats summarizes an ingestion run.
+type IngestStats struct {
+	// Accepted is the number of entries delivered (or pending delivery) in
+	// a bucket.
+	Accepted int
+	// Late is the number of entries dropped because their bucket had
+	// already closed. A centralized logging system delivers almost in
+	// order (client-side buffering reorders within seconds, §4.2), so
+	// anything older than the open bucket is treated as arrived-too-late
+	// rather than reopening history.
+	Late int
+	// Corrupt is the number of entries dropped for timestamps outside
+	// (−MaxAbsTime, MaxAbsTime).
+	Corrupt int
+	// Buckets is the number of closed buckets delivered.
+	Buckets int
+}
+
+// Ingester consumes a log stream and turns it into the closed buckets the
+// stream miners advance on. The first accepted entry fixes the stream
+// origin: the bucket grid is aligned to floor(Time / BucketWidth), so
+// bucket boundaries are absolute (independent of when ingestion started)
+// and bucket index i spans [origin + i·width, origin + (i+1)·width).
+//
+// Entries arrive roughly time-ordered; within the open bucket any order is
+// accepted (the bucket is stably sorted when it closes), entries for
+// already-closed buckets are dropped and counted as Late. An entry beyond
+// the open bucket closes it — empty buckets in between are skipped, not
+// delivered (the miners retire by index gap), so a long quiet period costs
+// O(1), not O(gap).
+type Ingester struct {
+	cfg    Config
+	miners []Miner
+	// OnAdvance, when non-nil, is called after every delivered bucket,
+	// once all miners have advanced — the hook cmd/depmine's follow mode
+	// prints snapshots from.
+	OnAdvance func(b Bucket)
+
+	started bool
+	origin  logmodel.Millis // start of bucket 0
+	cur     int64           // index of the open bucket
+	open    bool            // an open bucket exists (false after Flush)
+	pending []logmodel.Entry
+
+	win   []Bucket // delivered buckets still inside the window
+	stats IngestStats
+}
+
+// NewIngester returns an ingester feeding the given miners.
+func NewIngester(cfg Config, miners ...Miner) *Ingester {
+	return &Ingester{cfg: cfg.withDefaults(), miners: miners}
+}
+
+// Add consumes one entry.
+func (in *Ingester) Add(e logmodel.Entry) {
+	if e.Time <= -MaxAbsTime || e.Time >= MaxAbsTime {
+		in.stats.Corrupt++
+		return
+	}
+	if !in.started {
+		in.started = true
+		in.origin = floorAlign(e.Time, in.cfg.BucketWidth)
+		in.cur = 0
+		in.open = true
+	}
+	idx := int64((e.Time - in.origin) / in.cfg.BucketWidth)
+	if e.Time < in.origin {
+		idx = -1 // before the origin bucket; always late
+	}
+	switch {
+	case idx < in.cur, idx == in.cur && !in.open:
+		in.stats.Late++
+		return
+	case idx > in.cur:
+		in.close()
+		in.cur = idx
+		in.open = true
+	}
+	in.pending = append(in.pending, e)
+	in.stats.Accepted++
+}
+
+// AddAll consumes all entries of es.
+func (in *Ingester) AddAll(es []logmodel.Entry) {
+	for _, e := range es {
+		in.Add(e)
+	}
+}
+
+// Flush closes and delivers the open bucket without waiting for an entry
+// beyond it — the end-of-stream (or end-of-batch) signal. Further entries
+// for the flushed bucket are late.
+func (in *Ingester) Flush() {
+	in.close()
+}
+
+// close delivers the open bucket, if any.
+func (in *Ingester) close() {
+	if !in.open {
+		return
+	}
+	in.open = false
+	sort.SliceStable(in.pending, func(i, j int) bool {
+		return in.pending[i].Time < in.pending[j].Time
+	})
+	start := in.origin + logmodel.Millis(in.cur)*in.cfg.BucketWidth
+	b := Bucket{
+		Index:   in.cur,
+		Range:   logmodel.TimeRange{Start: start, End: start + in.cfg.BucketWidth},
+		Entries: in.pending,
+	}
+	in.pending = nil
+	in.stats.Buckets++
+
+	in.win = append(in.win, b)
+	lo := b.Index - int64(in.cfg.WindowBuckets) + 1
+	drop := 0
+	for drop < len(in.win) && in.win[drop].Index < lo {
+		drop++
+	}
+	in.win = in.win[drop:]
+
+	for _, m := range in.miners {
+		m.Advance(b)
+	}
+	if in.OnAdvance != nil {
+		in.OnAdvance(b)
+	}
+}
+
+// Stats returns the ingestion statistics so far.
+func (in *Ingester) Stats() IngestStats { return in.stats }
+
+// WindowRange returns the time extent of the current window: the last
+// WindowBuckets bucket ranges ending at the last delivered bucket (the
+// open bucket is not part of the window). The zero range before any
+// delivery.
+func (in *Ingester) WindowRange() logmodel.TimeRange {
+	if len(in.win) == 0 {
+		return logmodel.TimeRange{}
+	}
+	last := in.win[len(in.win)-1]
+	lo := last.Index - int64(in.cfg.WindowBuckets) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	return logmodel.TimeRange{
+		Start: in.origin + logmodel.Millis(lo)*in.cfg.BucketWidth,
+		End:   last.Range.End,
+	}
+}
+
+// WindowStore builds a sorted store holding exactly the window's entries —
+// the reference corpus the miners' Snapshots must match batch mining over.
+func (in *Ingester) WindowStore() *logmodel.Store {
+	n := 0
+	for i := range in.win {
+		n += len(in.win[i].Entries)
+	}
+	s := logmodel.NewStore(n)
+	for i := range in.win {
+		s.AppendAll(in.win[i].Entries)
+	}
+	return s
+}
+
+// floorAlign rounds t down to a multiple of width (toward −∞, also for
+// negative t, so the bucket grid is consistent across the epoch).
+func floorAlign(t, width logmodel.Millis) logmodel.Millis {
+	q := t / width
+	if t%width != 0 && t < 0 {
+		q--
+	}
+	return q * width
+}

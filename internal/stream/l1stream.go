@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"logscape/internal/core"
+	"logscape/internal/core/l1"
+	"logscape/internal/logmodel"
+)
+
+// L1Stream is the incremental L1 miner: each window bucket is one L1 time
+// slot, and the per-slot pair-test outcomes are cached when the bucket
+// enters the window. That caching is sound because a slot's outcomes are a
+// function of the slot's entries and its absolute time range only — the
+// test RNG is seeded from the slot's start time, not its position in the
+// window — so sliding the window never changes an interior slot's
+// outcomes. Snapshot re-folds the ≤ W cached outcome lists (integer
+// tallying, no re-mining).
+type L1Stream struct {
+	win window
+	cfg l1.Config
+	// outs holds one cached outcome list per non-empty window bucket, in
+	// index order.
+	outs []indexedOutcomes
+}
+
+type indexedOutcomes struct {
+	index    int64
+	outcomes []l1.SlotOutcome
+}
+
+// NewL1 builds a streaming L1 miner. The slot width is the window's bucket
+// width; cfg.SlotWidth is overwritten accordingly (batch equivalence is
+// against l1.Mine with the same slotting). cfg.Workers bounds the pair
+// tests of an advancing bucket.
+func NewL1(scfg Config, cfg l1.Config) *L1Stream {
+	scfg = scfg.withDefaults()
+	cfg.SlotWidth = scfg.BucketWidth
+	return &L1Stream{win: window{cfg: scfg}, cfg: cfg}
+}
+
+// Advance mines the bucket as one slot and retires buckets that left the
+// window. Cost: one slot's pair tests — O(bucket), independent of W.
+func (m *L1Stream) Advance(b Bucket) {
+	m.win.observe(b)
+	outcomes := l1.SlotOutcomes(b.Entries, b.Range, nil, m.cfg)
+	if len(outcomes) > 0 {
+		m.outs = append(m.outs, indexedOutcomes{index: b.Index, outcomes: outcomes})
+	}
+	lo := m.win.lo()
+	drop := 0
+	for drop < len(m.outs) && m.outs[drop].index < lo {
+		drop++
+	}
+	m.outs = m.outs[drop:]
+}
+
+// Snapshot folds the cached slot outcomes into the window's L1 model
+// document. Passing nil sources to the fold leaves never-supported pairs
+// out of the diagnostics, which cannot change the dependent set (an
+// unsupported pair never clears the positive-ratio threshold) and hence
+// not the document.
+func (m *L1Stream) Snapshot() core.ModelDocument {
+	lists := make([][]l1.SlotOutcome, len(m.outs))
+	for i := range m.outs {
+		lists[i] = m.outs[i].outcomes
+	}
+	res := l1.FoldOutcomes(nil, m.win.buckets(), lists, m.cfg)
+	return core.NewPairDocument("l1", res.DependentPairs(), nil)
+}
+
+// Batch is the reference: batch-mine the store over the window range with
+// the same configuration.
+func (m *L1Stream) Batch(store *logmodel.Store, r logmodel.TimeRange) core.ModelDocument {
+	res := l1.Mine(store, r, nil, m.cfg)
+	return core.NewPairDocument("l1", res.DependentPairs(), nil)
+}

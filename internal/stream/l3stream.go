@@ -1,0 +1,62 @@
+package stream
+
+import (
+	"logscape/internal/core"
+	"logscape/internal/core/l3"
+	"logscape/internal/logmodel"
+)
+
+// L3Stream is the incremental L3 miner: the citation scan has no
+// cross-entry state, so the window state is simply one evidence map per
+// non-empty bucket. Advance scans only the new bucket (through the shared
+// Aho–Corasick automaton of the wrapped batch miner); Snapshot folds the
+// ≤ W per-bucket maps in time order with l3.MergeEvidence, which
+// reproduces a sequential scan of the window exactly and never mutates the
+// cached maps.
+type L3Stream struct {
+	win   window
+	miner *l3.Miner
+	evs   []indexedEvidence
+}
+
+type indexedEvidence struct {
+	index    int64
+	evidence map[core.AppServicePair]*l3.Evidence
+}
+
+// NewL3 builds a streaming L3 miner around a batch miner (directory
+// automaton and configuration).
+func NewL3(wcfg Config, miner *l3.Miner) *L3Stream {
+	return &L3Stream{win: window{cfg: wcfg.withDefaults()}, miner: miner}
+}
+
+// Advance scans the bucket and retires buckets that left the window.
+func (m *L3Stream) Advance(b Bucket) {
+	m.win.observe(b)
+	if ev := m.miner.Scan(b.Entries); len(ev) > 0 {
+		m.evs = append(m.evs, indexedEvidence{index: b.Index, evidence: ev})
+	}
+	lo := m.win.lo()
+	drop := 0
+	for drop < len(m.evs) && m.evs[drop].index < lo {
+		drop++
+	}
+	m.evs = m.evs[drop:]
+}
+
+// Snapshot folds the per-bucket evidence into the window's L3 model
+// document.
+func (m *L3Stream) Snapshot() core.ModelDocument {
+	res := &l3.Result{Evidence: make(map[core.AppServicePair]*l3.Evidence), Config: m.miner.Config()}
+	for i := range m.evs {
+		l3.MergeEvidence(res.Evidence, m.evs[i].evidence)
+	}
+	return core.NewDepDocument("l3", res.Dependencies(), nil)
+}
+
+// Batch is the reference: batch-mine the store over the window range with
+// the same miner.
+func (m *L3Stream) Batch(store *logmodel.Store, r logmodel.TimeRange) core.ModelDocument {
+	res := m.miner.Mine(store, r)
+	return core.NewDepDocument("l3", res.Dependencies(), nil)
+}

@@ -1,0 +1,150 @@
+// Package stream implements bounded-memory incremental mining over a
+// sliding window of log buckets — the "moving" half of mapping a moving
+// landscape. Where cmd/depmine loads a finished corpus and mines it once,
+// this package consumes a live, append-mostly log stream: an Ingester cuts
+// the stream into fixed-width time buckets, and per-technique stream miners
+// (L1Stream, L2Stream, L3Stream) maintain just enough state to answer "what
+// is the dependency model of the last W buckets" at any time.
+//
+// The package's contract is batch equivalence: after every Advance, a
+// miner's Snapshot is byte-identical (as a serialized core.ModelDocument)
+// to running the corresponding batch miner over a store holding exactly the
+// window's entries. The per-technique state is chosen so that Advance costs
+// O(bucket), not O(window):
+//
+//   - L1 keeps the per-slot test outcomes of each window bucket. Slot
+//     outcomes depend only on the slot's entries and its absolute time
+//     range (the RNG seed hashes the slot start, not the slot index), so a
+//     bucket's outcomes are computed once when it enters the window and
+//     replayed unchanged by every later Snapshot; Snapshot just re-folds
+//     the W outcome lists.
+//   - L2 keeps a sessions.Tracker (incremental per-user session runs that
+//     span bucket boundaries) and an l2.Counts bigram aggregation updated
+//     from the tracker's session deltas. Snapshot re-runs only the per-type
+//     association tests.
+//   - L3 keeps the per-bucket citation evidence maps; Snapshot folds them
+//     in time order with l3.MergeEvidence.
+//
+// All snapshots are deterministic and worker-count independent, like the
+// batch miners (see DESIGN.md §9).
+package stream
+
+import (
+	"logscape/internal/core"
+	"logscape/internal/logmodel"
+)
+
+// MaxAbsTime bounds the timestamps the ingester accepts: entries outside
+// (−MaxAbsTime, MaxAbsTime) are dropped as corrupt. The bound (≈ ±36 million
+// years around the epoch) keeps every internal time computation — bucket
+// indexing, window starts, retirement cutoffs — free of int64 overflow for
+// any sane bucket configuration, which matters because the wire format
+// happily parses arbitrary int64 timestamps (found while fuzzing the
+// ingester with FuzzReadLogs corpus inputs).
+const MaxAbsTime logmodel.Millis = 1 << 60
+
+// Config parameterizes the sliding window. The zero value is replaced by
+// defaults matching the batch miners' slotting: one-hour buckets, a
+// 24-bucket (one day) window.
+type Config struct {
+	// BucketWidth is the width of one ingest bucket. It is also the L1 slot
+	// width: the streaming L1 miner tests each bucket as one slot.
+	BucketWidth logmodel.Millis
+	// WindowBuckets is the number of buckets W the window spans.
+	WindowBuckets int
+	// Workers bounds the per-bucket mining parallelism (the L1 pair tests
+	// of a closing bucket, the association tests of an L2 snapshot): 0
+	// selects GOMAXPROCS, 1 forces the sequential path. Snapshots are
+	// byte-identical for every setting.
+	Workers int
+}
+
+// DefaultConfig returns the default window configuration with every field
+// set explicitly.
+func DefaultConfig() Config {
+	return Config{}.withDefaults()
+}
+
+func (c Config) withDefaults() Config {
+	if c.BucketWidth == 0 {
+		c.BucketWidth = logmodel.MillisPerHour
+	}
+	if c.WindowBuckets == 0 {
+		c.WindowBuckets = 24
+	}
+	return c
+}
+
+// Bucket is one closed ingest bucket: the entries of the half-open time
+// range [Range.Start, Range.End), sorted by time (stable, preserving
+// arrival order of simultaneous entries — the same order a batch
+// logmodel.Store sort produces). Index counts buckets from the stream
+// origin; indexes are strictly increasing across Advance calls but may
+// jump, because empty buckets are never delivered.
+type Bucket struct {
+	Index   int64
+	Range   logmodel.TimeRange
+	Entries []logmodel.Entry
+}
+
+// Miner is an incremental miner over the sliding window.
+//
+// Advance feeds the next closed bucket; implementations retire all state
+// older than WindowBuckets behind it (handling index jumps across empty
+// buckets) in O(bucket) time. Snapshot returns the current window's model
+// document; the contract is byte equivalence with Batch over a store
+// holding exactly the window's entries. Batch runs the corresponding batch
+// miner — the reference implementation Snapshot is tested against.
+type Miner interface {
+	Advance(b Bucket)
+	Snapshot() core.ModelDocument
+	Batch(store *logmodel.Store, r logmodel.TimeRange) core.ModelDocument
+}
+
+// window tracks the bucket arithmetic shared by the stream miners: the
+// last delivered bucket and the derived window extent.
+type window struct {
+	cfg     Config
+	started bool
+	last    Bucket
+}
+
+// observe records a delivered bucket.
+func (w *window) observe(b Bucket) {
+	if w.started && b.Index <= w.last.Index {
+		panic("stream: Advance requires strictly increasing bucket indexes")
+	}
+	w.started = true
+	w.last = b
+}
+
+// lo returns the first bucket index still inside the window.
+func (w *window) lo() int64 {
+	lo := w.last.Index - int64(w.cfg.WindowBuckets) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	return lo
+}
+
+// buckets returns the number of bucket slots the window currently spans
+// (less than WindowBuckets during warm-up, 0 before the first bucket).
+func (w *window) buckets() int {
+	if !w.started {
+		return 0
+	}
+	return int(w.last.Index - w.lo() + 1)
+}
+
+// timeRange returns the window's time extent [start of bucket lo, end of
+// the last bucket).
+func (w *window) timeRange() logmodel.TimeRange {
+	if !w.started {
+		return logmodel.TimeRange{}
+	}
+	end := w.last.Range.End
+	return logmodel.TimeRange{
+		Start: end - logmodel.Millis(w.buckets())*w.cfg.BucketWidth,
+		End:   end,
+	}
+}

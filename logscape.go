@@ -36,6 +36,7 @@
 //	internal/directory  service directory (XML), citation scanner
 //	internal/sessions   user-session creation
 //	internal/core       dependency-model vocabulary; l1, l2, l3 miners
+//	internal/stream     sliding-window incremental mining (depmine -follow)
 //	internal/baseline   Agrawal et al. delay-histogram baseline
 //	internal/hospital   the simulated HUG environment (ground truth)
 //	internal/eval       the paper's §4 experiments (tables 1–2, figures 1–9)
@@ -64,6 +65,7 @@ import (
 	"logscape/internal/directory"
 	"logscape/internal/logmodel"
 	"logscape/internal/sessions"
+	"logscape/internal/stream"
 )
 
 // Log-model types.
@@ -139,6 +141,39 @@ type (
 	// StopPattern suppresses server-side logs in L3.
 	StopPattern = directory.StopPattern
 )
+
+// Streaming types: bounded-memory incremental mining over a sliding window
+// of log buckets, batch-equivalent by construction (DESIGN.md §9).
+type (
+	// StreamConfig parameterizes the sliding window (bucket width, window
+	// size, workers).
+	StreamConfig = stream.Config
+	// StreamBucket is one closed ingest bucket.
+	StreamBucket = stream.Bucket
+	// StreamMiner is an incremental miner over the sliding window.
+	StreamMiner = stream.Miner
+	// Ingester cuts a log stream into buckets and advances stream miners.
+	Ingester = stream.Ingester
+	// IngestStats summarizes an ingestion run.
+	IngestStats = stream.IngestStats
+)
+
+// NewIngester returns an ingester feeding the given stream miners.
+func NewIngester(cfg StreamConfig, miners ...StreamMiner) *Ingester {
+	return stream.NewIngester(cfg, miners...)
+}
+
+// NewL1Stream builds the incremental L1 miner (one L1 slot per bucket).
+func NewL1Stream(wcfg StreamConfig, cfg L1Config) StreamMiner { return stream.NewL1(wcfg, cfg) }
+
+// NewL2Stream builds the incremental L2 miner (boundary-spanning session
+// tracking plus incremental bigram counts).
+func NewL2Stream(wcfg StreamConfig, scfg SessionConfig, cfg L2Config) StreamMiner {
+	return stream.NewL2(wcfg, scfg, cfg)
+}
+
+// NewL3Stream builds the incremental L3 miner around a batch L3 miner.
+func NewL3Stream(wcfg StreamConfig, miner *L3Miner) StreamMiner { return stream.NewL3(wcfg, miner) }
 
 // Graph is a directed dependency graph built from a mined model, offering
 // the §1.1 applications: impact prediction, root-cause candidate sets,
