@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_PR.json document the CI bench job archives: a JSON array of
+//
+//	{"name": ..., "ns_per_op": ..., "allocs_per_op": ...}
+//
+// records sorted by benchmark name. The GOMAXPROCS suffix go test appends
+// to each name (BenchmarkFoo-8) is stripped so documents from machines with
+// different core counts stay comparable; when a benchmark appears more than
+// once (e.g. -count=N) the last measurement wins. Non-benchmark lines are
+// ignored, so the full `go test` transcript can be piped in unfiltered.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchtime 1x -benchmem . | benchjson > BENCH_PR.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark measurement, the element type of BENCH_PR.json.
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// procSuffix is the -GOMAXPROCS decoration go test appends to names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark results from go test -bench output. Lines
+// not starting with "Benchmark" (build output, PASS, ok) are skipped.
+func parseBench(r io.Reader) ([]result, error) {
+	byName := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		res := result{Name: procSuffix.ReplaceAllString(fields[0], "")}
+		// After the name and iteration count, measurements come in
+		// (value, unit) pairs: "123456 ns/op", "42 allocs/op", ...
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				ns, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op %q: %w", res.Name, v, err)
+				}
+				res.NsPerOp = ns
+				seen = true
+			case "allocs/op":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad allocs/op %q: %w", res.Name, v, err)
+				}
+				res.AllocsPerOp = n
+			}
+		}
+		if !seen {
+			continue // a Benchmark-prefixed line without measurements
+		}
+		byName[res.Name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]result, 0, len(names))
+	for _, name := range names {
+		out = append(out, byName[name])
+	}
+	return out, nil
+}
+
+func main() {
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sample is a verbatim-shaped go test -bench transcript: benchmark lines
+// interleaved with harness noise, float and integer ns/op, and a repeated
+// benchmark from -count=2.
+const sample = `goos: linux
+goarch: amd64
+pkg: logscape
+BenchmarkL1Sequential-8   	       1	123456789 ns/op	  500000 B/op	    1200 allocs/op
+BenchmarkL1Parallel-8     	       1	 23456789 ns/op	  600000 B/op	    1300 allocs/op
+BenchmarkStreamL2Advance-16	    5000	    245.5 ns/op	      64 B/op	       2 allocs/op
+BenchmarkStreamL2Advance-16	    5000	    250.0 ns/op	      64 B/op	       3 allocs/op
+PASS
+ok  	logscape	4.321s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []result{
+		{Name: "BenchmarkL1Parallel", NsPerOp: 23456789, AllocsPerOp: 1300},
+		{Name: "BenchmarkL1Sequential", NsPerOp: 123456789, AllocsPerOp: 1200},
+		{Name: "BenchmarkStreamL2Advance", NsPerOp: 250.0, AllocsPerOp: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseBench:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseBenchStripsProcSuffixOnly(t *testing.T) {
+	// A benchmark name with an embedded dash keeps everything but the
+	// trailing GOMAXPROCS decoration.
+	got, err := parseBench(strings.NewReader(
+		"BenchmarkL3Throughput/logs-per-sec-32 10 100 ns/op 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "BenchmarkL3Throughput/logs-per-sec" {
+		t.Errorf("got %+v, want single BenchmarkL3Throughput/logs-per-sec", got)
+	}
+}
+
+func TestParseBenchEmptyAndMalformed(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok\nBenchmarkNoMeasurements-8 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected no results, got %+v", got)
+	}
+	if _, err := parseBench(strings.NewReader("BenchmarkBad-8 1 oops ns/op\n")); err == nil {
+		t.Error("expected an error for a malformed ns/op value")
+	}
+}

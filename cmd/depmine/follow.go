@@ -29,42 +29,44 @@ import (
 // runFollow tails one wire-format log stream ("-" = stdin, ".gz"
 // transparently decompressed) and, on every closed bucket, writes the
 // window's model document to stdout and a delta summary against the
-// previous window to stderr.
-func runFollow(method, dirPath string, timeout float64, minlogs, workers int,
-	nostops bool, bucketSec float64, windowBuckets int, files []string) error {
-
-	if len(files) != 1 {
+// previous window to stderr. With -listen, the run's metrics, the latest
+// per-bucket trace and net/http/pprof are served over HTTP while it tails.
+func runFollow(o options) error {
+	if len(o.files) != 1 {
 		return fmt.Errorf("follow mode tails exactly one log stream (a file or - for stdin)")
 	}
-	if bucketSec <= 0 || windowBuckets <= 0 {
+	if o.bucketSec <= 0 || o.windowN <= 0 {
 		return fmt.Errorf("follow mode requires -bucket > 0 and -window > 0")
 	}
 	wcfg := stream.Config{
-		BucketWidth:   logmodel.SecondsToMillis(bucketSec),
-		WindowBuckets: windowBuckets,
-		Workers:       workers,
+		BucketWidth:   logmodel.SecondsToMillis(o.bucketSec),
+		WindowBuckets: o.windowN,
+		Workers:       o.workers,
+		Metrics:       o.metrics,
 	}
 
 	var miner stream.Miner
-	switch method {
+	switch o.method {
 	case "l1":
 		cfg := l1.DefaultConfig()
-		cfg.MinLogs = minlogs
-		cfg.Workers = workers
+		cfg.MinLogs = o.minlogs
+		cfg.Workers = o.workers
+		cfg.Metrics = o.metrics
 		miner = stream.NewL1(wcfg, cfg)
 	case "l2":
 		cfg := l2.DefaultConfig()
-		cfg.Timeout = logmodel.SecondsToMillis(timeout)
-		if timeout == 0 {
+		cfg.Timeout = logmodel.SecondsToMillis(o.timeout)
+		if o.timeout == 0 {
 			cfg.Timeout = l2.NoTimeout
 		}
-		cfg.Workers = workers
-		miner = stream.NewL2(wcfg, sessions.Config{}, cfg)
+		cfg.Workers = o.workers
+		cfg.Metrics = o.metrics
+		miner = stream.NewL2(wcfg, sessions.Config{Metrics: o.metrics}, cfg)
 	case "l3":
-		if dirPath == "" {
+		if o.dirPath == "" {
 			return fmt.Errorf("l3 requires -dir")
 		}
-		df, err := os.Open(dirPath)
+		df, err := os.Open(o.dirPath)
 		if err != nil {
 			return err
 		}
@@ -74,13 +76,22 @@ func runFollow(method, dirPath string, timeout float64, minlogs, workers int,
 			return err
 		}
 		cfg := l3.DefaultConfig()
-		cfg.Workers = workers
-		if !nostops {
+		cfg.Workers = o.workers
+		cfg.Metrics = o.metrics
+		if !o.nostops {
 			cfg.Stops = hospital.CanonicalStopPatterns()
 		}
 		miner = stream.NewL3(wcfg, l3.NewMiner(dir, cfg))
 	default:
-		return fmt.Errorf("follow mode supports l1, l2 and l3, not %q", method)
+		return fmt.Errorf("follow mode supports l1, l2 and l3, not %q", o.method)
+	}
+
+	if o.listen != "" {
+		stop, err := serveObs(o.listen, o.metrics)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	in := stream.NewIngester(wcfg, miner)
@@ -91,13 +102,22 @@ func runFollow(method, dirPath string, timeout float64, minlogs, workers int,
 		if emitErr != nil {
 			return
 		}
+		// One trace tree per delivered bucket; the latest completed one is
+		// what /trace serves.
+		trace := o.metrics.StartTrace(fmt.Sprintf("bucket %d", b.Index))
+		span := trace.Child("snapshot")
 		snap := miner.Snapshot()
-		if err := core.WriteModel(os.Stdout, snap); err != nil {
+		span.End()
+		span = trace.Child("emit")
+		err := core.WriteModel(os.Stdout, snap)
+		span.End()
+		trace.End()
+		if err != nil {
 			emitErr = err
 			return
 		}
 		r := in.WindowRange()
-		if method == "l3" {
+		if o.method == "l3" {
 			cur := snap.DepSet()
 			gone, born := core.DiffDeps(prevDeps, cur)
 			fmt.Fprintf(os.Stderr, "window [%s .. %s): %d deps",
@@ -128,7 +148,7 @@ func runFollow(method, dirPath string, timeout float64, minlogs, workers int,
 		}
 	}
 
-	src, closeSrc, err := openStream(files[0])
+	src, closeSrc, err := openStream(o.files[0])
 	if err != nil {
 		return err
 	}
@@ -159,6 +179,7 @@ func runFollow(method, dirPath string, timeout float64, minlogs, workers int,
 	s := in.Stats()
 	fmt.Fprintf(os.Stderr, "follow done: %d entries in %d buckets (%d late, %d corrupt, %d malformed lines)\n",
 		s.Accepted, s.Buckets, s.Late, s.Corrupt, malformed)
+	printStats(o)
 	return nil
 }
 

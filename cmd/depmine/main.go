@@ -21,6 +21,12 @@
 //	-workers N      mining parallelism for every method (0 = all cores,
 //	                1 = sequential); results are identical for any N
 //
+// Observability:
+//
+//	-stats          print the run's metrics document (JSON) to stderr
+//	-listen ADDR    follow mode: serve /metrics, /trace and /debug/pprof/
+//	                on ADDR (e.g. :8080, or :0 for an ephemeral port)
+//
 // Follow mode (streaming):
 //
 //	-follow         tail one log stream (a file or - for stdin) and emit the
@@ -45,35 +51,67 @@ import (
 	"logscape/internal/directory"
 	"logscape/internal/hospital"
 	"logscape/internal/logmodel"
+	"logscape/internal/obs"
 	"logscape/internal/sessions"
 )
 
+// options carries every parsed flag plus the run's metrics registry (nil
+// when observability is off).
+type options struct {
+	method    string
+	dirPath   string
+	truthPath string
+	dotPath   string
+	jsonPath  string
+	impact    string
+	timeout   float64
+	minlogs   int
+	workers   int
+	nostops   bool
+	direction bool
+	stats     bool
+	listen    string
+	bucketSec float64
+	windowN   int
+	files     []string
+	metrics   *obs.Registry
+}
+
 func main() {
-	method := flag.String("method", "l3", "mining technique: l1, l2, l3 or baseline")
-	dirPath := flag.String("dir", "", "service-directory XML (required for l3)")
-	truthPath := flag.String("truth", "", "reference model file to score against")
-	dotPath := flag.String("dot", "", "write the mined model as a Graphviz dot file")
-	jsonPath := flag.String("json", "", "write the mined model as a JSON model document")
-	impact := flag.String("impact", "", "print impact and root-cause analysis for a component")
-	timeout := flag.Float64("timeout", 1, "L2 bigram timeout in seconds (0 = infinity)")
-	minlogs := flag.Int("minlogs", 10, "L1 per-slot minimum log count")
-	nostops := flag.Bool("nostops", false, "L3: disable the canonical stop patterns")
-	direction := flag.Bool("direction", false, "L2: print direction hints for mined pairs")
-	workers := flag.Int("workers", 0, "mining parallelism: 0 = all cores, 1 = sequential (results are identical for any value)")
+	var o options
+	flag.StringVar(&o.method, "method", "l3", "mining technique: l1, l2, l3 or baseline")
+	flag.StringVar(&o.dirPath, "dir", "", "service-directory XML (required for l3)")
+	flag.StringVar(&o.truthPath, "truth", "", "reference model file to score against")
+	flag.StringVar(&o.dotPath, "dot", "", "write the mined model as a Graphviz dot file")
+	flag.StringVar(&o.jsonPath, "json", "", "write the mined model as a JSON model document")
+	flag.StringVar(&o.impact, "impact", "", "print impact and root-cause analysis for a component")
+	flag.Float64Var(&o.timeout, "timeout", 1, "L2 bigram timeout in seconds (0 = infinity)")
+	flag.IntVar(&o.minlogs, "minlogs", 10, "L1 per-slot minimum log count")
+	flag.BoolVar(&o.nostops, "nostops", false, "L3: disable the canonical stop patterns")
+	flag.BoolVar(&o.direction, "direction", false, "L2: print direction hints for mined pairs")
+	flag.IntVar(&o.workers, "workers", 0, "mining parallelism: 0 = all cores, 1 = sequential (results are identical for any value)")
+	flag.BoolVar(&o.stats, "stats", false, "print the run's metrics document (JSON) to stderr")
+	flag.StringVar(&o.listen, "listen", "", "follow mode: serve /metrics, /trace and /debug/pprof/ on this address")
 	follow := flag.Bool("follow", false, "streaming mode: tail one log stream and emit the sliding-window model per bucket")
-	bucketSec := flag.Float64("bucket", 3600, "follow mode: bucket width in seconds")
-	windowN := flag.Int("window", 24, "follow mode: window size in buckets")
+	flag.Float64Var(&o.bucketSec, "bucket", 3600, "follow mode: bucket width in seconds")
+	flag.IntVar(&o.windowN, "window", 24, "follow mode: window size in buckets")
 	flag.Parse()
-	if flag.NArg() == 0 {
+	o.files = flag.Args()
+	if len(o.files) == 0 {
 		fmt.Fprintln(os.Stderr, "depmine: at least one log file is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if o.stats || o.listen != "" {
+		// The one place the wall clock enters the metrics layer: the CLI
+		// edge injects obs.SystemClock; mining code only sees the registry.
+		o.metrics = obs.NewWithClock(obs.SystemClock)
+	}
 	var err error
 	if *follow {
-		err = runFollow(*method, *dirPath, *timeout, *minlogs, *workers, *nostops, *bucketSec, *windowN, flag.Args())
+		err = runFollow(o)
 	} else {
-		err = run(*method, *dirPath, *truthPath, *dotPath, *jsonPath, *impact, *timeout, *minlogs, *workers, *nostops, *direction, flag.Args())
+		err = run(o)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "depmine:", err)
@@ -81,34 +119,48 @@ func main() {
 	}
 }
 
-func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout float64,
-	minlogs, workers int, nostops, direction bool, files []string) error {
+// printStats writes the metrics document to stderr when -stats is set.
+func printStats(o options) {
+	if !o.stats || o.metrics == nil {
+		return
+	}
+	if err := o.metrics.WriteJSON(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "depmine: writing stats:", err)
+	}
+}
 
-	store, err := loadLogs(files)
+func run(o options) error {
+	trace := o.metrics.StartTrace("depmine")
+	defer trace.End()
+
+	load := trace.Child("load")
+	store, err := loadLogs(o.files)
+	load.End()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d log entries from %d file(s), %d sources\n",
-		store.Len(), len(files), len(store.Sources()))
+		store.Len(), len(o.files), len(store.Sources()))
 	span := store.Span()
 
+	mine := trace.Child("mine " + o.method)
 	var pairs core.PairSet
 	var deps core.AppServiceSet
-	switch method {
+	switch o.method {
 	case "l1":
-		res := l1.Mine(store, span, nil, l1.Config{MinLogs: minlogs, Workers: workers})
+		res := l1.Mine(store, span, nil, l1.Config{MinLogs: o.minlogs, Workers: o.workers, Metrics: o.metrics})
 		pairs = res.DependentPairs()
 	case "l2":
-		ss, stats := sessions.Build(store, sessions.Config{})
+		ss, stats := sessions.Build(store, sessions.Config{Metrics: o.metrics})
 		fmt.Fprintf(os.Stderr, "built %d sessions (%.1f%% of logs assigned)\n",
 			stats.Sessions, 100*stats.AssignedShare())
-		to := logmodel.SecondsToMillis(timeout)
-		if timeout == 0 {
+		to := logmodel.SecondsToMillis(o.timeout)
+		if o.timeout == 0 {
 			to = l2.NoTimeout
 		}
-		res := l2.Mine(ss, l2.Config{Timeout: to, Workers: workers})
+		res := l2.Mine(ss, l2.Config{Timeout: to, Workers: o.workers, Metrics: o.metrics})
 		pairs = res.DependentPairs()
-		if direction {
+		if o.direction {
 			hints := l2.DirectionHints(ss, pairs, to)
 			for _, p := range pairs.SortedPairs() {
 				h, ok := hints[p]
@@ -124,10 +176,10 @@ func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout f
 			}
 		}
 	case "l3":
-		if dirPath == "" {
+		if o.dirPath == "" {
 			return fmt.Errorf("l3 requires -dir")
 		}
-		df, err := os.Open(dirPath)
+		df, err := os.Open(o.dirPath)
 		if err != nil {
 			return err
 		}
@@ -137,20 +189,24 @@ func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout f
 			return err
 		}
 		cfg := l3.DefaultConfig()
-		cfg.Workers = workers
-		if !nostops {
+		cfg.Workers = o.workers
+		cfg.Metrics = o.metrics
+		if !o.nostops {
 			cfg.Stops = hospital.CanonicalStopPatterns()
 		}
 		deps = l3.NewMiner(dir, cfg).Mine(store, logmodel.TimeRange{}).Dependencies()
 	case "baseline":
 		bcfg := baseline.DefaultConfig()
-		bcfg.Workers = workers
+		bcfg.Workers = o.workers
+		bcfg.Metrics = o.metrics
 		res := baseline.Mine(store, span, nil, bcfg)
 		pairs = res.DependentPairs()
 	default:
-		return fmt.Errorf("unknown method %q", method)
+		return fmt.Errorf("unknown method %q", o.method)
 	}
+	mine.End()
 
+	emit := trace.Child("emit")
 	// Print the model.
 	if deps != nil {
 		for _, d := range deps.SortedPairs() {
@@ -162,22 +218,22 @@ func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout f
 		}
 	}
 
-	if dotPath != "" {
-		if err := writeDot(dotPath, pairs, deps); err != nil {
+	if o.dotPath != "" {
+		if err := writeDot(o.dotPath, pairs, deps); err != nil {
 			return err
 		}
 	}
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
+	if o.jsonPath != "" {
+		f, err := os.Create(o.jsonPath)
 		if err != nil {
 			return err
 		}
 		var doc core.ModelDocument
-		params := map[string]string{"files": strings.Join(files, ",")}
+		params := map[string]string{"files": strings.Join(o.files, ",")}
 		if deps != nil {
-			doc = core.NewDepDocument(method, deps, params)
+			doc = core.NewDepDocument(o.method, deps, params)
 		} else {
-			doc = core.NewPairDocument(method, pairs, params)
+			doc = core.NewPairDocument(o.method, pairs, params)
 		}
 		if err := core.WriteModel(f, doc); err != nil {
 			f.Close()
@@ -187,11 +243,14 @@ func run(method, dirPath, truthPath, dotPath, jsonPath, impact string, timeout f
 			return err
 		}
 	}
-	if impact != "" {
-		printImpact(impact, pairs, deps, dirPath)
+	if o.impact != "" {
+		printImpact(o.impact, pairs, deps, o.dirPath)
 	}
-	if truthPath != "" {
-		return score(truthPath, pairs, deps, store)
+	emit.End()
+	trace.End()
+	printStats(o)
+	if o.truthPath != "" {
+		return score(o.truthPath, pairs, deps, store)
 	}
 	return nil
 }

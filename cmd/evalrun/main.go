@@ -18,6 +18,7 @@ import (
 
 	"logscape/internal/eval"
 	"logscape/internal/logmodel"
+	"logscape/internal/obs"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "volume scale (1 = 1/100 of HUG)")
 	exps := flag.String("exp", "all", "comma-separated experiments to run")
 	report := flag.String("report", "", "write a full Markdown report to this file and exit")
+	stats := flag.Bool("stats", false, "print the run's metrics document (JSON) to stderr")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -35,6 +37,10 @@ func main() {
 
 	opts := eval.DefaultOptions(*seed)
 	opts.Scale = *scale
+	// Metrics are always collected for -report (the report embeds the
+	// snapshot); the registry reads the wall clock only through the
+	// sanctioned obs.SystemClock edge.
+	opts.Metrics = obs.NewWithClock(obs.SystemClock)
 	start := time.Now() //lint:allow wallclock progress timing on stderr, not part of mined results
 	fmt.Fprintf(os.Stderr, "simulating week (seed %d, scale %.2f)...\n", *seed, *scale)
 	r := eval.NewRunner(opts)
@@ -83,4 +89,11 @@ func main() {
 	run("fig8", func() fmt.Stringer { return r.Figure8() })
 	run("fig9", func() fmt.Stringer { return r.Figure9(0) })
 	run("ablations", func() fmt.Stringer { return r.Ablations(0) })
+
+	if *stats {
+		if err := opts.Metrics.WriteJSON(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "evalrun:", err)
+			os.Exit(1)
+		}
+	}
 }

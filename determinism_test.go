@@ -15,6 +15,7 @@ import (
 	"logscape/internal/baseline"
 	"logscape/internal/core"
 	"logscape/internal/core/l2"
+	"logscape/internal/obs"
 )
 
 // serializePairs renders a pair set as a canonical model document.
@@ -134,6 +135,81 @@ func TestBaselineWorkerEquivalence(t *testing.T) {
 	requireSameBytes(t, "baseline",
 		serializePairs(t, "baseline", seq.DependentPairs()),
 		serializePairs(t, "baseline", par.DependentPairs()))
+}
+
+// mineAll mines all four techniques over one testbed day with the given
+// worker count and registry, returning the serialized model document per
+// technique — the shared harness for the observability half of the
+// determinism contract.
+func mineAll(t *testing.T, tb *logscape.Testbed, workers int, reg *obs.Registry) map[string][]byte {
+	t.Helper()
+	store := tb.Day(0)
+	out := make(map[string][]byte)
+
+	l1res := logscape.MineL1(store, tb.DayRange(0), tb.Apps(),
+		logscape.L1Config{MinLogs: 8, Seed: 11, Workers: workers, Metrics: reg})
+	out["l1"] = serializePairs(t, "l1", l1res.DependentPairs())
+
+	ss, _ := logscape.BuildSessions(store, logscape.SessionConfig{Metrics: reg})
+	l2res := logscape.MineL2(ss, logscape.L2Config{Workers: workers, Metrics: reg}) //lint:allow cfgzero metrics-equivalence test exercises package defaults
+	out["l2"] = serializePairs(t, "l2", l2res.DependentPairs())
+
+	l3res := logscape.NewL3Miner(tb.Directory(), logscape.L3Config{
+		Stops: tb.StopPatterns(), Owner: tb.GroupOwners(), Workers: workers, Metrics: reg,
+	}).Mine(store, logscape.TimeRange{})
+	out["l3"] = serializeDeps(t, "l3", l3res.Dependencies())
+
+	hour := logscape.TimeRange{
+		Start: tb.DayRange(0).Start + 10*logscape.MillisPerHour,
+		End:   tb.DayRange(0).Start + 11*logscape.MillisPerHour,
+	}
+	bres := logscape.MineBaseline(store, hour, tb.Apps(),
+		logscape.BaselineConfig{Workers: workers, Metrics: reg}) //lint:allow cfgzero metrics-equivalence test exercises package defaults
+	out["baseline"] = serializePairs(t, "baseline", bres.DependentPairs())
+	return out
+}
+
+// TestMetricsDoNotPerturbModels is the observability safety contract:
+// mined models are byte-identical with metrics collection off (nil
+// registry) and on, at Workers 1 and 8.
+func TestMetricsDoNotPerturbModels(t *testing.T) {
+	tb := logscape.NewTestbed(11, 0.1, 1)
+	off := mineAll(t, tb, 1, nil)
+	for _, workers := range []int{1, 8} {
+		on := mineAll(t, tb, workers, obs.New())
+		for technique, want := range off {
+			if !bytes.Equal(want, on[technique]) {
+				t.Errorf("%s: serialized model differs with metrics on (Workers:%d) vs off\noff: %s\non:  %s",
+					technique, workers, want, on[technique])
+			}
+		}
+	}
+}
+
+// TestMetricsCounterEquivalence is the observability determinism contract:
+// the counter/gauge document (not the timing histograms) is identical at
+// Workers 1 and 8, because counters count input-determined work, never
+// scheduling.
+func TestMetricsCounterEquivalence(t *testing.T) {
+	tb := logscape.NewTestbed(11, 0.1, 1)
+	reg1, reg8 := obs.New(), obs.New()
+	mineAll(t, tb, 1, reg1)
+	mineAll(t, tb, 8, reg8)
+
+	doc1, err := reg1.CounterDocument()
+	if err != nil {
+		t.Fatalf("CounterDocument(workers=1): %v", err)
+	}
+	doc8, err := reg8.CounterDocument()
+	if err != nil {
+		t.Fatalf("CounterDocument(workers=8): %v", err)
+	}
+	if len(reg1.Snapshot().Counters) == 0 {
+		t.Fatal("no counters collected — instrumentation not wired up")
+	}
+	if !bytes.Equal(doc1, doc8) {
+		t.Errorf("counter documents differ between Workers:1 and Workers:8\nseq: %s\npar: %s", doc1, doc8)
+	}
 }
 
 // TestBaselineWorkerEquivalenceInternal exercises the internal package

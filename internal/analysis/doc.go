@@ -1,0 +1,15 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that lintscape's analyzers build
+// on. The build environment vendors no external modules, so the framework
+// is grown from the standard library instead: syntax from go/ast, types
+// from go/types, and export data for imports resolved through
+// `go list -export` (see internal/analysis/load).
+//
+// The API deliberately mirrors x/tools so the analyzers can migrate to the
+// upstream framework verbatim once the module is allowed third-party
+// dependencies: an Analyzer has a Name, a Doc and a Run function; Run
+// receives a Pass with the parsed files, the type-checked package and the
+// type info, and reports Diagnostics.
+//
+// See DESIGN.md §8 (Static invariants).
+package analysis

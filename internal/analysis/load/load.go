@@ -1,11 +1,3 @@
-// Package load resolves, parses and type-checks the packages lintscape
-// analyzes. It is a minimal offline replacement for
-// golang.org/x/tools/go/packages built entirely on the standard library:
-// package metadata comes from `go list -export -json -deps`, imports are
-// satisfied from the compiler export data the go command already produces
-// into its build cache, and only the target packages themselves are
-// type-checked from source. This keeps a whole-repo load to one go-command
-// invocation plus one types.Check per target package.
 package load
 
 import (

@@ -1,13 +1,10 @@
-// Package analyzers registers lintscape's analyzer suite: the static
-// invariants that keep the determinism & concurrency contract a
-// compile-time property of the repository. See DESIGN.md §"Static
-// invariants" for the invariant each analyzer encodes.
 package analyzers
 
 import (
 	"logscape/internal/analysis"
 	"logscape/internal/analyzers/bareconc"
 	"logscape/internal/analyzers/cfgzero"
+	"logscape/internal/analyzers/doclint"
 	"logscape/internal/analyzers/floateq"
 	"logscape/internal/analyzers/maporder"
 	"logscape/internal/analyzers/wallclock"
@@ -18,6 +15,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		bareconc.Analyzer,
 		cfgzero.Analyzer,
+		doclint.Analyzer,
 		floateq.Analyzer,
 		maporder.Analyzer,
 		wallclock.Analyzer,

@@ -1,14 +1,3 @@
-// Package cfgzero defines an analyzer that catches half-initialized miner
-// configurations at call sites.
-//
-// Every miner Config pairs a Workers knob with threshold fields (minlogs,
-// alpha, timeouts, ...). A literal that sets Workers and nothing else is
-// the classic half-initialized config: the author tuned the parallelism
-// and silently inherited whatever the zero-value defaults happen to be —
-// which withDefaults may or may not fill the way they expect, and which
-// drifts when defaults change. The analyzer flags such literals; the fix
-// is to set the thresholds explicitly or start from the package's
-// DefaultConfig() and override Workers.
 package cfgzero
 
 import (

@@ -1,0 +1,5 @@
+// Package analyzers registers lintscape's analyzer suite: the static
+// invariants that keep the determinism & concurrency contract a
+// compile-time property of the repository. See DESIGN.md §"Static
+// invariants" for the invariant each analyzer encodes.
+package analyzers

@@ -1,0 +1,13 @@
+// Package doclint defines an analyzer that requires a package comment on
+// every package.
+//
+// The repository's documentation contract (ISSUE: operator handbook) says
+// a reader must be able to run `go doc` on any package and learn what it
+// is for and which invariants it upholds. The analyzer flags packages in
+// which no file carries a package doc comment. In-package _test.go files
+// and external _test packages are exempt: test code documents itself
+// through test names. The fix is a doc comment in the package's primary
+// file or a dedicated doc.go.
+//
+// See DESIGN.md §8 (Static invariants).
+package doclint

@@ -1,0 +1,48 @@
+package doclint
+
+import (
+	"go/ast"
+	"strings"
+
+	"logscape/internal/analysis"
+)
+
+// Analyzer flags packages that have no package doc comment.
+var Analyzer = &analysis.Analyzer{
+	Name: "doclint",
+	Doc: "require a package comment on every package so `go doc` explains its purpose " +
+		"and invariants; add a doc comment to the primary file or a dedicated doc.go " +
+		"(test files and _test packages are exempt)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil, nil
+	}
+	// The diagnostic anchors to the package clause of the alphabetically
+	// first non-test file, so the finding position is deterministic no
+	// matter the load order.
+	var first *ast.File
+	firstName := ""
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return nil, nil
+		}
+		if first == nil || name < firstName {
+			first, firstName = f, name
+		}
+	}
+	if first == nil {
+		// Test-only compilation unit.
+		return nil, nil
+	}
+	pass.Reportf(first.Package,
+		"package %s has no package comment; document its purpose in the primary file or a doc.go",
+		pass.Pkg.Name())
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package doclint_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/analysistest"
+	"logscape/internal/analyzers/doclint"
+)
+
+func TestDoclint(t *testing.T) {
+	analysistest.Run(t, doclint.Analyzer, "nodoc", "doc")
+}

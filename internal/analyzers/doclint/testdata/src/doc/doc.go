@@ -1,0 +1,3 @@
+// Package doc demonstrates the satisfied contract: a dedicated doc.go
+// carrying the package comment keeps every other file free of it.
+package doc

@@ -1,0 +1,5 @@
+package doc
+
+// Exported lives in an undocumented file, which is fine: the package
+// comment in doc.go covers the whole package.
+func Exported() int { return 1 }

@@ -1,0 +1,11 @@
+package doc
+
+import "testing"
+
+// TestExported keeps a _test.go file in the fixture: test files are exempt
+// from the package-comment requirement and never satisfy it either.
+func TestExported(t *testing.T) {
+	if Exported() != 1 {
+		t.Fatal("Exported")
+	}
+}

@@ -1,0 +1,6 @@
+package nodoc // want `package nodoc has no package comment`
+
+// Exported is documented, but the package itself is not: the analyzer
+// reports at the package clause of the alphabetically first non-test file
+// (this one — b.go sorts before c.go).
+func Exported() int { return 1 }

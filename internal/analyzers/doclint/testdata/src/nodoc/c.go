@@ -1,0 +1,5 @@
+package nodoc
+
+// Other shows that later files earn no second diagnostic: one finding per
+// package, at the first file.
+func Other() int { return 2 }

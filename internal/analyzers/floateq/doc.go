@@ -1,0 +1,14 @@
+// Package floateq defines an analyzer that flags direct floating-point
+// equality.
+//
+// Exact == / != between computed floating-point values is almost always a
+// latent bug: two mathematically equal expressions rarely compare equal
+// after rounding, and the result can differ between optimization levels.
+// Comparisons against sentinel literals (x == 0, p == 0.5 — values stored,
+// never computed) are idiomatic and stay allowed, as does the x != x NaN
+// probe. Everything else should go through a tolerance helper such as
+// stats.ApproxEqual, or carry a justified //lint:allow floateq when exact
+// equality is the point (e.g. midrank tie grouping).
+//
+// See DESIGN.md §8 (Static invariants).
+package floateq

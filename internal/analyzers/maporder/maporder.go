@@ -1,14 +1,3 @@
-// Package maporder defines an analyzer that catches Go's classic silent
-// determinism breaker: folding map iteration order into an ordered result.
-//
-// Ranging over a map is fine when the body is commutative (set inserts,
-// integer counting). It silently breaks the repo's bit-identical-output
-// contract when the body appends to a slice that is never sorted
-// afterwards, writes output directly, or folds into an accumulator whose
-// operation is order-sensitive (string concatenation; floating-point
-// accumulation, which is not associative). The analyzer flags exactly
-// those three shapes and stands down for appends when the enclosing
-// function visibly sorts afterwards.
 package maporder
 
 import (

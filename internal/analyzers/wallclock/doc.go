@@ -1,0 +1,13 @@
+// Package wallclock defines an analyzer that keeps wall-clock time out of
+// the mining pipeline.
+//
+// Mined models must be a pure function of the logs: every timestamp the
+// miners reason about derives from log-entry time (logmodel.Millis), never
+// from the machine clock — otherwise re-mining the same corpus gives
+// different sessions, slots and delays. The analyzer flags time.Now,
+// time.Since and time.Until. Genuine timing code (CLI progress output in
+// cmd/, harness measurement in internal/eval) opts out per call site with
+// a justified `//lint:allow wallclock` directive.
+//
+// See DESIGN.md §8 (Static invariants).
+package wallclock

@@ -1,19 +1,3 @@
-// Package baseline implements the delay-histogram technique of Agrawal et
-// al. (IBM Research, 2004), the closest non-intrusive related work the
-// paper discusses (§2.1): "one builds histograms of delays and performs a
-// χ² test to measure the deviation from a uniformly random distribution".
-//
-// For an ordered pair of components (A, B), the delay from each activity of
-// A to the next activity of B within a window is recorded; if B depends on
-// A (or responds to it), the delays concentrate around the typical service
-// latency, whereas for independent components they are close to uniform
-// over the window. A chi-squared goodness-of-fit test against uniformity
-// decides dependence.
-//
-// The technique serves as a comparison baseline for L1: both use only
-// (source, timestamp) information, and the paper notes the approach's
-// "accuracy and precision ... are inversely proportional to the degree of
-// parallelism (number of users) in the system".
 package baseline
 
 import (
@@ -22,6 +6,7 @@ import (
 
 	"logscape/internal/core"
 	"logscape/internal/logmodel"
+	"logscape/internal/obs"
 	"logscape/internal/parallel"
 	"logscape/internal/pointproc"
 	"logscape/internal/stats"
@@ -47,6 +32,10 @@ type Config struct {
 	// GOMAXPROCS, 1 forces the exact sequential path. Results are
 	// identical for every setting.
 	Workers int
+	// Metrics, when non-nil, collects per-stage counters and timing
+	// histograms (see internal/obs). Collection never changes the mined
+	// model, and counter values are identical for every Workers setting.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the baseline's calibrated configuration with every
@@ -190,13 +179,22 @@ func Mine(store *logmodel.Store, r logmodel.TimeRange, sources []string, cfg Con
 			cands = append(cands, [2]string{from, to})
 		}
 	}
-	results := parallel.Map(parallel.Workers(cfg.Workers), len(cands), func(i int) PairResult {
-		c := cands[i]
-		return TestPair(c[0], c[1], idx[c[0]], idx[c[1]], cfg)
-	})
+	defer cfg.Metrics.Timer("baseline.mine_ns")()
+	results := parallel.Map(parallel.Workers(cfg.Workers), len(cands),
+		obs.Meter(cfg.Metrics, "baseline.pairs_tested", func(i int) PairResult {
+			c := cands[i]
+			return TestPair(c[0], c[1], idx[c[0]], idx[c[1]], cfg)
+		}))
 	res := &Result{Ordered: make(map[[2]string]PairResult, len(cands)), Config: cfg}
+	samples, dependent := int64(0), int64(0)
 	for i, c := range cands {
 		res.Ordered[c] = results[i]
+		samples += results[i].Samples
+		if results[i].Dependent {
+			dependent++
+		}
 	}
+	cfg.Metrics.Counter("baseline.delay_samples").Add(samples)
+	cfg.Metrics.Counter("baseline.dependent_pairs").Add(dependent)
 	return res
 }

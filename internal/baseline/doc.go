@@ -1,0 +1,19 @@
+// Package baseline implements the delay-histogram technique of Agrawal et
+// al. (IBM Research, 2004), the closest non-intrusive related work the
+// paper discusses (§2.1): "one builds histograms of delays and performs a
+// χ² test to measure the deviation from a uniformly random distribution".
+//
+// For an ordered pair of components (A, B), the delay from each activity of
+// A to the next activity of B within a window is recorded; if B depends on
+// A (or responds to it), the delays concentrate around the typical service
+// latency, whereas for independent components they are close to uniform
+// over the window. A chi-squared goodness-of-fit test against uniformity
+// decides dependence.
+//
+// The technique serves as a comparison baseline for L1: both use only
+// (source, timestamp) information, and the paper notes the approach's
+// "accuracy and precision ... are inversely proportional to the degree of
+// parallelism (number of users) in the system".
+//
+// See DESIGN.md §3 (System inventory) and §4 (Experiment index).
+package baseline

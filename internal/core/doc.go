@@ -1,0 +1,17 @@
+// Package core defines the dependency-model vocabulary shared by the three
+// mining techniques of the paper and their evaluation: application pairs,
+// application→service dependencies, and mined models with per-decision
+// diagnostics.
+//
+// The techniques themselves live in the subpackages:
+//
+//   - core/l1 — logs as an activity measure (§3.1): a slotted, robust
+//     median-distance test between the log point processes of two
+//     applications.
+//   - core/l2 — co-occurrence statistics over user sessions (§3.2): bigram
+//     contingency tables tested with Dunning's log-likelihood ratio.
+//   - core/l3 — free-text analysis against the service directory (§3.3):
+//     citation mining with stop patterns.
+//
+// See DESIGN.md §3 (System inventory).
+package core

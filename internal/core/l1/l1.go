@@ -1,22 +1,3 @@
-// Package l1 implements the paper's approach L1 (§3.1): discovering
-// dependencies between applications by treating their logs as a pure
-// activity measure.
-//
-// For an ordered pair of applications (A, B), the technique compares the
-// typical distance of B's log timestamps to the *nearest* log of A against
-// the typical distance of uniformly random points to A. Distances are
-// summarized by their median with a robust order-statistics confidence
-// interval (Le Boudec); B is "closer than random" when its interval lies
-// entirely below the random one. Because the overall system load makes even
-// unrelated applications correlate over long horizons, the test is applied
-// locally per time slot (one hour) and the local outcomes are combined: a
-// pair is declared dependent when the ratio of positive slots pr and the
-// support s (the fraction of slots where both applications logged at least
-// MinLogs entries) clear the thresholds th_pr and th_s.
-//
-// The test is one-sided and uses the distance to the nearest arrival; the
-// original two-sided, next-arrival variant of Li & Ma (ICDM'04) is
-// available through Config for the ablations in DESIGN.md.
 package l1
 
 import (
@@ -28,6 +9,7 @@ import (
 
 	"logscape/internal/core"
 	"logscape/internal/logmodel"
+	"logscape/internal/obs"
 	"logscape/internal/parallel"
 	"logscape/internal/pointproc"
 	"logscape/internal/stats"
@@ -111,6 +93,10 @@ type Config struct {
 	// GOMAXPROCS, 1 forces the exact sequential path (for A/B testing).
 	// Results are bit-identical for every setting.
 	Workers int
+	// Metrics, when non-nil, collects per-stage counters and timing
+	// histograms (see internal/obs). Collection never changes the mined
+	// model, and counter values are identical for every Workers setting.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's calibrated configuration with every
@@ -364,6 +350,7 @@ func Mine(store *logmodel.Store, r logmodel.TimeRange, sources []string, cfg Con
 // MineSlots is Mine over an explicit slot partition (e.g. EqualCountSlots).
 func MineSlots(store *logmodel.Store, slots []logmodel.TimeRange, sources []string, cfg Config) *Result {
 	cfg = cfg.withDefaults()
+	defer cfg.Metrics.Timer("l1.mine_ns")()
 	if sources == nil {
 		sources = store.Sources()
 	}
@@ -373,9 +360,10 @@ func MineSlots(store *logmodel.Store, slots []logmodel.TimeRange, sources []stri
 	// themselves are the unit of parallelism here.
 	inner := cfg
 	inner.Workers = 1
-	outcomes := parallel.Map(parallel.Workers(cfg.Workers), len(slots), func(si int) []SlotOutcome {
-		return SlotOutcomes(store.Range(slots[si]), slots[si], sources, inner)
-	})
+	outcomes := parallel.Map(parallel.Workers(cfg.Workers), len(slots),
+		obs.Meter(cfg.Metrics, "l1.slots", func(si int) []SlotOutcome {
+			return SlotOutcomes(store.Range(slots[si]), slots[si], sources, inner)
+		}))
 	return FoldOutcomes(sources, len(slots), outcomes, cfg)
 }
 
@@ -426,14 +414,20 @@ func SlotOutcomes(entries []logmodel.Entry, slot logmodel.TimeRange, sources []s
 			pairs = append(pairs, core.MakePair(eligible[i], eligible[j]))
 		}
 	}
-	return parallel.Map(parallel.Workers(cfg.Workers), len(pairs), func(k int) SlotOutcome {
-		p := pairs[k]
-		rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, slot.Start, p)))
-		return SlotOutcome{
-			Pair:     p,
-			Positive: SlotTestRef(rng, idx[p.A], idx[p.B], total, slot, cfg),
-		}
-	})
+	positive := cfg.Metrics.Counter("l1.positive_slots")
+	return parallel.Map(parallel.Workers(cfg.Workers), len(pairs),
+		obs.Meter(cfg.Metrics, "l1.pair_tests", func(k int) SlotOutcome {
+			p := pairs[k]
+			rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, slot.Start, p)))
+			o := SlotOutcome{
+				Pair:     p,
+				Positive: SlotTestRef(rng, idx[p.A], idx[p.B], total, slot, cfg),
+			}
+			if o.Positive {
+				positive.Inc()
+			}
+			return o
+		}))
 }
 
 // FoldOutcomes tallies per-slot outcome lists into the final Result: support
@@ -465,9 +459,14 @@ func FoldOutcomes(sources []string, slots int, outcomes [][]SlotOutcome, cfg Con
 			res.Pairs[o.Pair] = pr
 		}
 	}
+	dependent := int64(0)
 	for p, pr := range res.Pairs {
 		pr.Dependent = pr.Ratio() >= cfg.ThPr && pr.SupportFraction() >= cfg.ThS
+		if pr.Dependent {
+			dependent++
+		}
 		res.Pairs[p] = pr
 	}
+	cfg.Metrics.Counter("l1.dependent_pairs").Add(dependent)
 	return res
 }

@@ -1,0 +1,21 @@
+// Package l2 implements the paper's approach L2 (§3.2): mining user
+// sessions with the co-occurrence statistics used for collocation
+// extraction in natural language processing.
+//
+// Each session is an ordered sequence of activity statements by
+// applications. All pairs of immediately succeeding logs with different
+// sources form bigrams; a configurable timeout drops bigrams spanning a
+// long silence (typically distinct user actions). For every observed bigram
+// type (A, B) a 2×2 contingency table is built over all bigrams, and
+// Dunning's log-likelihood ratio test decides association (Evert's UCS
+// notation; §3.2 and figure 4). Significant types with positive association
+// yield dependent application pairs; the undirected union over both
+// directions is the mined model.
+//
+// The package also implements the §5 direction heuristic ("counting the
+// number of times the first element of the first pair of the given type is
+// an instance of A, respectively B, in a sequence of logs that is not
+// interrupted by a pause of at least the length of the timeout parameter").
+//
+// See DESIGN.md §5 (Key design decisions).
+package l2

@@ -1,21 +1,3 @@
-// Package l2 implements the paper's approach L2 (§3.2): mining user
-// sessions with the co-occurrence statistics used for collocation
-// extraction in natural language processing.
-//
-// Each session is an ordered sequence of activity statements by
-// applications. All pairs of immediately succeeding logs with different
-// sources form bigrams; a configurable timeout drops bigrams spanning a
-// long silence (typically distinct user actions). For every observed bigram
-// type (A, B) a 2×2 contingency table is built over all bigrams, and
-// Dunning's log-likelihood ratio test decides association (Evert's UCS
-// notation; §3.2 and figure 4). Significant types with positive association
-// yield dependent application pairs; the undirected union over both
-// directions is the mined model.
-//
-// The package also implements the §5 direction heuristic ("counting the
-// number of times the first element of the first pair of the given type is
-// an instance of A, respectively B, in a sequence of logs that is not
-// interrupted by a pause of at least the length of the timeout parameter").
 package l2
 
 import (
@@ -23,6 +5,7 @@ import (
 
 	"logscape/internal/core"
 	"logscape/internal/logmodel"
+	"logscape/internal/obs"
 	"logscape/internal/parallel"
 	"logscape/internal/sessions"
 	"logscape/internal/stats"
@@ -70,6 +53,10 @@ type Config struct {
 	// setting: all bigram counts are integers, so the shard-ordered merge
 	// of partial contingency tables is exact.
 	Workers int
+	// Metrics, when non-nil, collects per-stage counters and timing
+	// histograms (see internal/obs). Collection never changes the mined
+	// model, and counter values are identical for every Workers setting.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's calibrated configuration with every
@@ -183,9 +170,17 @@ func (c *Counts) Remove(bs []Bigram) {
 // the merged result equals the sequential one exactly; workers ≤ 1 runs
 // CountBigrams unchanged.
 func CountBigramsParallel(ss []sessions.Session, timeout logmodel.Millis, workers int) *Counts {
-	parts := parallel.MapShards(workers, len(ss), func(lo, hi int) *Counts {
-		return CountBigrams(ss[lo:hi], timeout)
-	})
+	return countBigramsMetered(ss, timeout, workers, nil)
+}
+
+// countBigramsMetered is CountBigramsParallel with per-shard busy-time
+// collection (histograms only — the shard count depends on workers, so no
+// counter may derive from it).
+func countBigramsMetered(ss []sessions.Session, timeout logmodel.Millis, workers int, m *obs.Registry) *Counts {
+	parts := parallel.MapShards(workers, len(ss),
+		obs.MeterShards(m, "l2.count_shards", func(lo, hi int) *Counts {
+			return CountBigrams(ss[lo:hi], timeout)
+		}))
 	if len(parts) == 0 {
 		return CountBigrams(nil, timeout)
 	}
@@ -262,7 +257,11 @@ func (r *Result) DependentPairs() core.PairSet {
 // worker pool; results are identical for every Config.Workers setting.
 func Mine(ss []sessions.Session, cfg Config) *Result {
 	cfg = cfg.withDefaults()
-	return ResultFromCounts(CountBigramsParallel(ss, cfg.Timeout, parallel.Workers(cfg.Workers)), cfg)
+	defer cfg.Metrics.Timer("l2.mine_ns")()
+	cfg.Metrics.Counter("l2.sessions").Add(int64(len(ss)))
+	counts := countBigramsMetered(ss, cfg.Timeout, parallel.Workers(cfg.Workers), cfg.Metrics)
+	cfg.Metrics.Counter("l2.bigrams").Add(int64(counts.Total))
+	return ResultFromCounts(counts, cfg)
 }
 
 // ResultFromCounts runs the per-type association tests over an existing
@@ -283,11 +282,17 @@ func ResultFromCounts(counts *Counts, cfg Config) *Result {
 		}
 		return types[i].Second < types[j].Second
 	})
-	for _, tr := range parallel.Map(parallel.Workers(cfg.Workers), len(types), func(i int) TypeResult {
-		return testType(counts, types[i], cfg)
-	}) {
+	significant := int64(0)
+	for _, tr := range parallel.Map(parallel.Workers(cfg.Workers), len(types),
+		obs.Meter(cfg.Metrics, "l2.association_tests", func(i int) TypeResult {
+			return testType(counts, types[i], cfg)
+		})) {
+		if tr.Significant {
+			significant++
+		}
 		res.Types[tr.Type] = tr
 	}
+	cfg.Metrics.Counter("l2.significant_types").Add(significant)
 	return res
 }
 

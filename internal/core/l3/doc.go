@@ -1,0 +1,14 @@
+// Package l3 implements the paper's approach L3 (§3.3): discovering
+// application → service dependencies by finding citations of
+// service-directory entries in the free text of log messages.
+//
+// Although every developer logs remote invocations in their own format, the
+// cited element — the directory group id or its root URL — is almost always
+// present, "as this kind of information is crucial for debugging and
+// tracing purposes". The decision rule is deliberately simple: if, and only
+// if, there are logs from application A referring to service group S, A
+// depends on S. Stop patterns suppress server-side logs that would
+// otherwise invert the direction (the callee logging the same call).
+//
+// See DESIGN.md §5 (Key design decisions).
+package l3

@@ -1,20 +1,10 @@
-// Package l3 implements the paper's approach L3 (§3.3): discovering
-// application → service dependencies by finding citations of
-// service-directory entries in the free text of log messages.
-//
-// Although every developer logs remote invocations in their own format, the
-// cited element — the directory group id or its root URL — is almost always
-// present, "as this kind of information is crucial for debugging and
-// tracing purposes". The decision rule is deliberately simple: if, and only
-// if, there are logs from application A referring to service group S, A
-// depends on S. Stop patterns suppress server-side logs that would
-// otherwise invert the direction (the callee logging the same call).
 package l3
 
 import (
 	"logscape/internal/core"
 	"logscape/internal/directory"
 	"logscape/internal/logmodel"
+	"logscape/internal/obs"
 	"logscape/internal/parallel"
 )
 
@@ -42,6 +32,10 @@ type Config struct {
 	// selects GOMAXPROCS, 1 forces the exact sequential path. Results are
 	// identical for every setting.
 	Workers int
+	// Metrics, when non-nil, collects per-stage counters and timing
+	// histograms (see internal/obs). Collection never changes the mined
+	// model, and counter values are identical for every Workers setting.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's calibrated configuration with every
@@ -118,11 +112,12 @@ func (m *Miner) Mine(store *logmodel.Store, r logmodel.TimeRange) *Result {
 	if r != (logmodel.TimeRange{}) {
 		entries = store.Range(r)
 	}
+	defer m.cfg.Metrics.Timer("l3.mine_ns")()
 	res := &Result{Evidence: make(map[core.AppServicePair]*Evidence), Config: m.cfg}
 	parts := parallel.MapShards(parallel.Workers(m.cfg.Workers), len(entries),
-		func(lo, hi int) map[core.AppServicePair]*Evidence {
+		obs.MeterShards(m.cfg.Metrics, "l3.scan_shards", func(lo, hi int) map[core.AppServicePair]*Evidence {
 			return m.Scan(entries[lo:hi])
-		})
+		}))
 	if len(parts) == 1 {
 		res.Evidence = parts[0]
 		return res
@@ -141,6 +136,13 @@ func (m *Miner) Config() Config { return m.cfg }
 // folded in time order with MergeEvidence reproduce a sequential scan of
 // the concatenated entries exactly.
 func (m *Miner) Scan(entries []logmodel.Entry) map[core.AppServicePair]*Evidence {
+	// Scanned/citation counts are sums over entries, so sharding the entry
+	// range cannot change them — they stay in the worker-count-independent
+	// counter document.
+	scanned := m.cfg.Metrics.Counter("l3.entries_scanned")
+	cited := m.cfg.Metrics.Counter("l3.citations")
+	stoppedC := m.cfg.Metrics.Counter("l3.stopped_citations")
+	scanned.Add(int64(len(entries)))
 	out := make(map[core.AppServicePair]*Evidence)
 	for i := range entries {
 		e := &entries[i]
@@ -161,12 +163,14 @@ func (m *Miner) Scan(entries []logmodel.Entry) map[core.AppServicePair]*Evidence
 			}
 			if stopped {
 				ev.Stopped++
+				stoppedC.Inc()
 				continue
 			}
 			if ev.Count == 0 {
 				ev.First = e.Time
 			}
 			ev.Count++
+			cited.Inc()
 			ev.Last = e.Time
 		}
 	}

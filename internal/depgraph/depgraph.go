@@ -1,14 +1,3 @@
-// Package depgraph turns mined dependency models into the artifacts the
-// paper's introduction motivates: beyond being "a support for both manual
-// and automated fault localization, a dependency model has various useful
-// applications including fault detection, impact prediction and service
-// availability requirements determination" (§1.1).
-//
-// A Graph is built from a directed application→service model (approach
-// L3) plus the group→owner mapping, or directly from directed application
-// edges. It offers impact analysis (who is affected when a component
-// fails), root-cause candidate sets (what a degraded component might be
-// suffering from), topological layering, and cycle detection.
 package depgraph
 
 import (

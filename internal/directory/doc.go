@@ -1,0 +1,16 @@
+// Package directory models the service directory approach L3 mines against.
+//
+// At HUG the directory is "basically an XML file indicating the root URL of
+// groups of functionally related services. All service groups have an
+// identifier, as well as information related to replication issues" (§3.3).
+// This package reproduces that shape: a Directory is a set of Groups, each
+// with an identifier, a root URL, replica hosts, and the service (function)
+// names it exposes; it marshals to and from an XML file.
+//
+// The CitationScanner finds references to directory entries in the free
+// text of log messages — by group id (word-bounded, so UPSRV does not fire
+// inside UPSRV2) or by root-URL fragment — and applies stop patterns to
+// suppress server-side logs (§3.3, "Stop Patterns").
+//
+// See DESIGN.md §3 (System inventory).
+package directory

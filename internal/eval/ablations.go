@@ -90,7 +90,7 @@ func (r *Runner) Ablations(day int) AblationsResult {
 	}
 
 	// Related-work baseline on the same day and universe.
-	conf := r.ScorePairs(baseline.Mine(store, dayRange, apps, baseline.Config{}).DependentPairs())
+	conf := r.ScorePairs(baseline.Mine(store, dayRange, apps, baseline.Config{Metrics: r.Opts.Metrics}).DependentPairs())
 	res.Rows = append(res.Rows, AblationRow{Technique: "baseline", Variant: "Agrawal delay histogram", TP: conf.TP, FP: conf.FP})
 
 	return res

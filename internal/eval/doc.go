@@ -1,0 +1,10 @@
+// Package eval reproduces the paper's case study (§4): it simulates the
+// HUG test week, runs the three mining techniques and the baseline, scores
+// them against the topology's reference models, and regenerates every table
+// and figure of the evaluation section as structured results with ASCII
+// renderings.
+//
+// The experiment index in DESIGN.md maps each table/figure to the function
+// here that regenerates it (Table1, Figure1 … Figure9, Table2) and to the
+// corresponding benchmark in the repository root.
+package eval

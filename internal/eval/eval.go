@@ -1,12 +1,3 @@
-// Package eval reproduces the paper's case study (§4): it simulates the
-// HUG test week, runs the three mining techniques and the baseline, scores
-// them against the topology's reference models, and regenerates every table
-// and figure of the evaluation section as structured results with ASCII
-// renderings.
-//
-// The experiment index in DESIGN.md maps each table/figure to the function
-// here that regenerates it (Table1, Figure1 … Figure9, Table2) and to the
-// corresponding benchmark in the repository root.
 package eval
 
 import (
@@ -19,6 +10,7 @@ import (
 	"logscape/internal/directory"
 	"logscape/internal/hospital"
 	"logscape/internal/logmodel"
+	"logscape/internal/obs"
 	"logscape/internal/sessions"
 )
 
@@ -41,6 +33,11 @@ type Options struct {
 	Sessions sessions.Config
 	// Stops are the stop patterns for L3 (default: the canonical ten).
 	Stops []directory.StopPattern
+	// Metrics, when non-nil, is propagated into every miner configuration
+	// (L1, L2, Sessions, the L3 miners, the baseline) so one registry
+	// collects the whole run; see internal/obs. Collection never changes
+	// any result.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the calibrated evaluation configuration.
@@ -94,6 +91,17 @@ func NewRunner(opts Options) *Runner {
 	}
 	if opts.L1.Seed == 0 {
 		opts.L1.Seed = opts.Seed
+	}
+	if opts.Metrics != nil {
+		if opts.L1.Metrics == nil {
+			opts.L1.Metrics = opts.Metrics
+		}
+		if opts.L2.Metrics == nil {
+			opts.L2.Metrics = opts.Metrics
+		}
+		if opts.Sessions.Metrics == nil {
+			opts.Sessions.Metrics = opts.Metrics
+		}
 	}
 	topo := hospital.GenerateTopology(hospital.DefaultTopologyConfig(), opts.Seed)
 	simCfg := hospital.DefaultConfig(opts.Seed)
@@ -183,7 +191,7 @@ func (r *Runner) sessionsCached(day int) []sessions.Session {
 // automaton for the whole evaluation).
 func (r *Runner) l3MinerShared() *l3.Miner {
 	if r.l3Miner == nil {
-		r.l3Miner = l3.NewMiner(r.Dir, l3.Config{Stops: r.Opts.Stops})
+		r.l3Miner = l3.NewMiner(r.Dir, l3.Config{Stops: r.Opts.Stops, Metrics: r.Opts.Metrics})
 	}
 	return r.l3Miner
 }
@@ -202,7 +210,7 @@ func (r *Runner) MineL2Day(day int, timeout logmodel.Millis) *l2.Result {
 // MineL3Day runs approach L3 on one simulated day with the runner's stop
 // patterns.
 func (r *Runner) MineL3Day(day int) *l3.Result {
-	m := l3.NewMiner(r.Dir, l3.Config{Stops: r.Opts.Stops})
+	m := l3.NewMiner(r.Dir, l3.Config{Stops: r.Opts.Stops, Metrics: r.Opts.Metrics})
 	return m.Mine(r.Stores[day], r.Sim.DayRange(day))
 }
 

@@ -49,6 +49,14 @@ func (r *Runner) WriteReport(w io.Writer, opts ReportOptions) error {
 		section("Figure 9 — load study", r.Figure9(0))
 		section("Ablations", r.Ablations(opts.AblationDay))
 	}
+	if r.Opts.Metrics != nil {
+		// Last, so the snapshot covers every experiment above.
+		fmt.Fprintf(bw, "## Metrics snapshot\n\n```json\n")
+		if err := r.Opts.Metrics.WriteJSON(bw); err != nil && bw.err == nil {
+			bw.err = err
+		}
+		fmt.Fprintf(bw, "```\n\n")
+	}
 	return bw.err
 }
 

@@ -1,0 +1,16 @@
+// Package hospital simulates the Geneva University Hospitals environment of
+// the paper: a topology of interactive applications, middle-tier services
+// and a service directory with a known ground-truth dependency graph, and a
+// workload generator that emits a realistic centralized log stream — user
+// sessions with synchronous and asynchronous call trees, background noise,
+// per-host clock skew, and every free-text phenomenon the paper's §4.8
+// error analysis attributes results to (server-side echo logs, exception
+// stack traces, patient-name/service-id coincidences, wrong and similar
+// directory ids, unlogged invocations, rarely-used services).
+//
+// The simulator replaces the 56.8 million proprietary production log
+// entries of the case study; its ground-truth topology plays the role of
+// the expert-built reference model.
+//
+// See DESIGN.md §3 (System inventory).
+package hospital

@@ -1,14 +1,3 @@
-// Package logmodel defines logscape's view of a centralized logging system:
-// the log entry, a canonical line-oriented wire format, and an in-memory
-// store with the per-source and per-period indexes the mining techniques
-// need.
-//
-// The model mirrors the minimal assumptions of the paper (§1.3): every
-// technique requires at most that a log identifies its source and time of
-// creation in a structured way; approach L2 additionally uses the user and
-// client-host fields to build sessions, and approach L3 reads the free-text
-// message. Timestamps carry a resolution of one millisecond, like the HUG
-// logging system described in §4.2.
 package logmodel
 
 import (

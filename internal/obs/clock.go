@@ -1,0 +1,15 @@
+package obs
+
+import "time"
+
+// processStart anchors SystemClock so its readings are small monotonic
+// offsets rather than absolute times.
+var processStart = time.Now() //lint:allow wallclock SystemClock is the single sanctioned wall-clock edge of the metrics layer; mining code only ever receives it as an injected clock
+
+// SystemClock returns monotonic nanoseconds since process start. It is the
+// one place the observability layer touches the wall clock: CLIs pass it to
+// NewWithClock at the process edge, mining code only ever sees the injected
+// func. Tests and equivalence harnesses use New() (no clock) instead.
+func SystemClock() int64 {
+	return int64(time.Since(processStart)) //lint:allow wallclock SystemClock is the single sanctioned wall-clock edge of the metrics layer; mining code only ever receives it as an injected clock
+}

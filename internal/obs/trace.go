@@ -1,0 +1,92 @@
+package obs
+
+import "sync"
+
+// Span is one node of a run's timing tree: a named section with a start and
+// end offset (registry-clock nanoseconds) and ordered children. Spans are
+// created with Registry.StartTrace and Span.Child and closed with End; a
+// root span publishes itself to the registry on End, becoming the trace
+// returned by Snapshot (last completed root wins).
+//
+// Child creation and End are safe for concurrent use, but the intended
+// shape is one span per pipeline stage on the orchestrating goroutine —
+// per-item work belongs in Meter histograms, not spans.
+type Span struct {
+	reg    *Registry
+	parent *Span
+	name   string
+	start  int64
+
+	mu       sync.Mutex
+	end      int64
+	done     bool
+	children []*Span
+}
+
+// StartTrace opens a root span. On a nil registry it returns nil, and every
+// Span method is nil-receiver safe, so call sites need no guards.
+func (r *Registry) StartTrace(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, name: name, start: r.now()}
+}
+
+// Child opens a sub-span under s (no-op, returning nil, on a nil span).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{reg: s.reg, parent: s, name: name, start: s.reg.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, recording its end offset. Ending a root span stores
+// it as the registry's current trace. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.end = s.reg.now()
+	s.mu.Unlock()
+	if s.parent == nil {
+		s.reg.mu.Lock()
+		s.reg.trace = s
+		s.reg.mu.Unlock()
+	}
+}
+
+// SpanSnapshot is the immutable, JSON-ready form of a span tree.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	StartNS    int64          `json:"start_ns"`
+	DurationNS int64          `json:"duration_ns"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// snapshot converts the span tree rooted at s. Open spans are reported with
+// the current clock reading as their provisional end.
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	end := s.end
+	if !s.done {
+		end = s.reg.now()
+	}
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	out := SpanSnapshot{Name: s.name, StartNS: s.start, DurationNS: end - s.start}
+	for _, c := range kids {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}

@@ -1,16 +1,3 @@
-// Package parallel provides the shared concurrency primitives of the
-// miners: a bounded worker pool with index-sharded fan-out and a
-// deterministic, ordered merge of per-shard partial results.
-//
-// Every miner in the tree (approaches L1–L3 and the Agrawal et al.
-// baseline) exposes a Workers knob in its Config and routes its hot loop
-// through this package, so there is exactly one concurrency idiom to
-// reason about. The contract is strict determinism: for a fixed input and
-// configuration the mined result is bit-identical for every worker count,
-// because output positions are fixed by input index (Map) or shard order
-// (MapShards) — never by goroutine scheduling or map iteration order.
-// Workers == 1 degenerates to a plain inline loop on the calling
-// goroutine, preserving the exact sequential path for A/B testing.
 package parallel
 
 import (

@@ -1,11 +1,3 @@
-// Package pointproc provides the point-process machinery behind approach L1
-// and the workload simulator: nearest-arrival distances on sorted timestamp
-// sequences, uniform random sampling over an interval, subsampling, and
-// Poisson process generation (homogeneous, and non-homogeneous by
-// thinning).
-//
-// Timestamp sequences are the per-source log sequences of
-// logmodel.Store.SourceIndex: sorted slices of logmodel.Millis.
 package pointproc
 
 import (

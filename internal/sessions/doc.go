@@ -1,0 +1,17 @@
+// Package sessions implements user-session creation from a centralized log
+// stream, the prerequisite of the paper's approach L2 (§3.2).
+//
+// A session is the ordered sequence of logs produced on behalf of one user
+// during one sitting. The paper notes that "the fact that both, a machine
+// can be shared by different users, and a user might be active on different
+// machines, makes session creation a challenging task"; this implementation
+// keys sessions on the authenticated user (not the machine, so shared
+// machines do not merge sessions), splits a user's log stream on inactivity
+// gaps, and tolerates host changes inside a session (a user moving between
+// a ward terminal and an office PC).
+//
+// Only entries carrying a user id are assignable; in the simulated
+// environment, as at HUG, that is roughly 8–11% of the stream (§4.6).
+//
+// See DESIGN.md §5 (Key design decisions).
+package sessions

@@ -1,23 +1,10 @@
-// Package sessions implements user-session creation from a centralized log
-// stream, the prerequisite of the paper's approach L2 (§3.2).
-//
-// A session is the ordered sequence of logs produced on behalf of one user
-// during one sitting. The paper notes that "the fact that both, a machine
-// can be shared by different users, and a user might be active on different
-// machines, makes session creation a challenging task"; this implementation
-// keys sessions on the authenticated user (not the machine, so shared
-// machines do not merge sessions), splits a user's log stream on inactivity
-// gaps, and tolerates host changes inside a session (a user moving between
-// a ward terminal and an office PC).
-//
-// Only entries carrying a user id are assignable; in the simulated
-// environment, as at HUG, that is roughly 8–11% of the stream (§4.6).
 package sessions
 
 import (
 	"sort"
 
 	"logscape/internal/logmodel"
+	"logscape/internal/obs"
 )
 
 // Config controls session creation. The zero value is replaced by defaults.
@@ -31,6 +18,9 @@ type Config struct {
 	// session to be kept (default 2): single-source sessions contribute no
 	// bigrams with a ≠ b.
 	MinSources int
+	// Metrics, when non-nil, collects session-creation counters (see
+	// internal/obs). Collection never changes the built sessions.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills zero fields.
@@ -172,5 +162,9 @@ func Build(store *logmodel.Store, cfg Config) ([]Session, Stats) {
 		return out[i].User < out[j].User
 	})
 	stats.Sessions = len(out)
+	cfg.Metrics.Counter("sessions.built").Add(int64(stats.Sessions))
+	cfg.Metrics.Counter("sessions.dropped_fragments").Add(int64(stats.DroppedFragments))
+	cfg.Metrics.Counter("sessions.assignable_logs").Add(int64(stats.AssignableLogs))
+	cfg.Metrics.Counter("sessions.assigned_logs").Add(int64(stats.AssignedLogs))
 	return out, stats
 }

@@ -61,6 +61,29 @@ func NewTracker(cfg Config) *Tracker {
 	return &Tracker{cfg: cfg.withDefaults(), users: make(map[string]*trackedUser)}
 }
 
+// record mirrors a delta batch into the metrics registry: the number of
+// kept sessions added and removed (counters) and the net change to the live
+// kept-session level (gauge). Deltas are a pure function of the appended/
+// retired entries, so the counters stay worker-count independent.
+func (t *Tracker) record(ds []SessionDelta) []SessionDelta {
+	if t.cfg.Metrics == nil || len(ds) == 0 {
+		return ds
+	}
+	added, removed := int64(0), int64(0)
+	for _, d := range ds {
+		if d.Added != nil {
+			added++
+		}
+		if d.Removed != nil {
+			removed++
+		}
+	}
+	t.cfg.Metrics.Counter("sessions.tracker_added").Add(added)
+	t.cfg.Metrics.Counter("sessions.tracker_removed").Add(removed)
+	t.cfg.Metrics.Gauge("sessions.tracker_live").Add(added - removed)
+	return ds
+}
+
 // kept reports whether a run clears the session filters.
 func (t *Tracker) kept(es []logmodel.Entry) bool {
 	if len(es) < t.cfg.MinEntries {
@@ -149,7 +172,7 @@ func (t *Tracker) Append(es []logmodel.Entry) []SessionDelta {
 			}
 		}
 	}
-	return deltas
+	return t.record(deltas)
 }
 
 // Retire drops every tracked entry with Time < cutoff (half-open: entries
@@ -197,7 +220,7 @@ func (t *Tracker) Retire(cutoff logmodel.Millis, users []string) []SessionDelta 
 			delete(t.users, user)
 		}
 	}
-	return deltas
+	return t.record(deltas)
 }
 
 // Sessions returns the currently kept sessions, ordered like Build (by

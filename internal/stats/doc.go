@@ -1,0 +1,32 @@
+// Package stats implements the statistical machinery the logscape miners
+// and the evaluation harness rely on.
+//
+// The paper builds on a small number of classical tools that have no
+// counterpart in the Go standard library, so they are implemented here from
+// scratch:
+//
+//   - robust, non-parametric confidence intervals for the median (and any
+//     quantile) based on order statistics, following Le Boudec's
+//     "Performance Evaluation of Computer and Communication Systems"
+//     (the method cited as [9] in the paper and used by approaches L1
+//     and the per-day evaluation);
+//   - association tests on 2x2 contingency tables, in particular Dunning's
+//     log-likelihood ratio statistic G² (used by approach L2) and Pearson's
+//     X² for comparison;
+//   - the Wilcoxon signed rank test (used in §4.7 to confirm the timeout
+//     influence);
+//   - simple linear regression with a confidence interval for the slope
+//     (used in §4.9 to quantify the influence of system load);
+//   - chi-squared goodness-of-fit against the uniform distribution (used by
+//     the Agrawal et al. delay-histogram baseline).
+//
+// Supporting special functions (regularized incomplete gamma and beta,
+// normal quantiles) are implemented with standard series/continued-fraction
+// expansions and are accurate to well beyond the needs of the hypothesis
+// tests above.
+//
+// All functions are deterministic and allocation-conscious; functions that
+// need randomness take an explicit *rand.Rand.
+//
+// See DESIGN.md §3 (System inventory).
+package stats

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"logscape/internal/logmodel"
+	"logscape/internal/obs"
 )
 
 // IngestStats summarizes an ingestion run.
@@ -52,17 +53,34 @@ type Ingester struct {
 
 	win   []Bucket // delivered buckets still inside the window
 	stats IngestStats
+
+	// Metric instruments, resolved once at construction (nil-safe no-ops
+	// without a registry); they mirror IngestStats plus the window gauges.
+	mAccepted, mLate, mCorrupt, mBuckets *obs.Counter
+	mWinBuckets, mWinEntries             *obs.Gauge
 }
 
 // NewIngester returns an ingester feeding the given miners.
 func NewIngester(cfg Config, miners ...Miner) *Ingester {
-	return &Ingester{cfg: cfg.withDefaults(), miners: miners}
+	cfg = cfg.withDefaults()
+	m := cfg.Metrics
+	return &Ingester{
+		cfg:         cfg,
+		miners:      miners,
+		mAccepted:   m.Counter("stream.entries_accepted"),
+		mLate:       m.Counter("stream.entries_late"),
+		mCorrupt:    m.Counter("stream.entries_corrupt"),
+		mBuckets:    m.Counter("stream.buckets_closed"),
+		mWinBuckets: m.Gauge("stream.window_buckets"),
+		mWinEntries: m.Gauge("stream.window_entries"),
+	}
 }
 
 // Add consumes one entry.
 func (in *Ingester) Add(e logmodel.Entry) {
 	if e.Time <= -MaxAbsTime || e.Time >= MaxAbsTime {
 		in.stats.Corrupt++
+		in.mCorrupt.Inc()
 		return
 	}
 	if !in.started {
@@ -78,6 +96,7 @@ func (in *Ingester) Add(e logmodel.Entry) {
 	switch {
 	case idx < in.cur, idx == in.cur && !in.open:
 		in.stats.Late++
+		in.mLate.Inc()
 		return
 	case idx > in.cur:
 		in.close()
@@ -86,6 +105,7 @@ func (in *Ingester) Add(e logmodel.Entry) {
 	}
 	in.pending = append(in.pending, e)
 	in.stats.Accepted++
+	in.mAccepted.Inc()
 }
 
 // AddAll consumes all entries of es.
@@ -127,6 +147,14 @@ func (in *Ingester) close() {
 		drop++
 	}
 	in.win = in.win[drop:]
+
+	in.mBuckets.Inc()
+	in.mWinBuckets.Set(int64(len(in.win)))
+	winEntries := int64(0)
+	for i := range in.win {
+		winEntries += int64(len(in.win[i].Entries))
+	}
+	in.mWinEntries.Set(winEntries)
 
 	for _, m := range in.miners {
 		m.Advance(b)

@@ -1,0 +1,9 @@
+// Package textproc provides the free-text machinery behind approach L3 and
+// the log-preprocessing extensions: an Aho–Corasick multi-pattern matcher
+// used to scan millions of log messages for service-directory citations in
+// a single pass, a log-oriented tokenizer, and an SLCT-style message
+// clustering algorithm (Vaarandi 2003, discussed in §2.2 of the paper) for
+// grouping free-text messages into templates.
+//
+// See DESIGN.md §3 (System inventory).
+package textproc
