@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -37,17 +38,36 @@ type result struct {
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
 // parseBench extracts benchmark results from go test -bench output. Lines
-// not starting with "Benchmark" (build output, PASS, ok) are skipped.
+// not starting with "Benchmark" (build output, PASS, ok) are skipped, as is
+// the bare name-echo line verbose runs print. Any other Benchmark line must
+// be well-formed — an integer iteration count followed by complete
+// (value, unit) measurement pairs including a finite ns/op — or parsing
+// fails with an error naming the line: a truncated transcript silently
+// producing a half-empty BENCH_PR.json would poison every later comparison
+// against it.
 func parseBench(r io.Reader) ([]result, error) {
 	byName := make(map[string]result)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
+		if len(fields) == 1 {
+			continue // the name-echo line of a verbose run
+		}
 		res := result{Name: procSuffix.ReplaceAllString(fields[0], "")}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("%s: bad iteration count %q in line %q", res.Name, fields[1], line)
+		}
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("%s: truncated benchmark line %q (no measurements)", res.Name, line)
+		}
+		if (len(fields)-2)%2 != 0 {
+			return nil, fmt.Errorf("%s: dangling measurement value in line %q", res.Name, line)
+		}
 		// After the name and iteration count, measurements come in
 		// (value, unit) pairs: "123456 ns/op", "42 allocs/op", ...
 		seen := false
@@ -58,6 +78,9 @@ func parseBench(r io.Reader) ([]result, error) {
 				ns, err := strconv.ParseFloat(v, 64)
 				if err != nil {
 					return nil, fmt.Errorf("%s: bad ns/op %q: %w", res.Name, v, err)
+				}
+				if math.IsNaN(ns) || math.IsInf(ns, 0) {
+					return nil, fmt.Errorf("%s: non-finite ns/op %q", res.Name, v)
 				}
 				res.NsPerOp = ns
 				seen = true
@@ -70,7 +93,7 @@ func parseBench(r io.Reader) ([]result, error) {
 			}
 		}
 		if !seen {
-			continue // a Benchmark-prefixed line without measurements
+			return nil, fmt.Errorf("%s: no ns/op measurement in line %q", res.Name, line)
 		}
 		byName[res.Name] = res
 	}

@@ -48,15 +48,46 @@ func TestParseBenchStripsProcSuffixOnly(t *testing.T) {
 	}
 }
 
-func TestParseBenchEmptyAndMalformed(t *testing.T) {
-	got, err := parseBench(strings.NewReader("PASS\nok\nBenchmarkNoMeasurements-8 1\n"))
+func TestParseBenchSkipsNoise(t *testing.T) {
+	// Harness noise and the bare name-echo line of a verbose run are not
+	// benchmark measurements; they must be skipped without error.
+	got, err := parseBench(strings.NewReader("PASS\nok  \tlogscape\t1.0s\nBenchmarkEcho\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 0 {
 		t.Errorf("expected no results, got %+v", got)
 	}
-	if _, err := parseBench(strings.NewReader("BenchmarkBad-8 1 oops ns/op\n")); err == nil {
-		t.Error("expected an error for a malformed ns/op value")
+}
+
+func TestParseBenchRejectsMalformedLines(t *testing.T) {
+	// A Benchmark line that made it past the prefix check must parse fully:
+	// silently dropping truncated or non-finite measurements would leave a
+	// half-empty document that later comparisons trust.
+	cases := []struct {
+		name    string
+		line    string
+		wantErr string
+	}{
+		{"no measurements", "BenchmarkNoMeasurements-8 1", "truncated"},
+		{"truncated mid-pair", "BenchmarkCut-8 1 123", "truncated"},
+		{"dangling value", "BenchmarkDangle-8 10 100 ns/op 42", "dangling"},
+		{"bad iteration count", "BenchmarkIter-8 lots 100 ns/op", "iteration count"},
+		{"bad ns/op", "BenchmarkBad-8 1 oops ns/op", "ns/op"},
+		{"NaN ns/op", "BenchmarkNaN-8 1 NaN ns/op", "non-finite"},
+		{"Inf ns/op", "BenchmarkInf-8 1 +Inf ns/op", "non-finite"},
+		{"bad allocs/op", "BenchmarkAllocs-8 1 100 ns/op 1.5 allocs/op", "allocs/op"},
+		{"pairs but no ns/op", "BenchmarkUnitless-8 1 64 B/op", "no ns/op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseBench(strings.NewReader(tc.line + "\n"))
+			if err == nil {
+				t.Fatalf("parseBench(%q) succeeded, want error mentioning %q", tc.line, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }

@@ -8,12 +8,21 @@ package main
 // sequence of models (and the batch-equivalence contract of
 // internal/stream guarantees each of them matches a one-shot batch run
 // over the same window).
+//
+// The ingest path is hardened against a hostile transport (the fault model
+// internal/chaos generates): transient read errors are retried with bounded
+// backoff, torn .gz tails deliver their decompressed prefix, rotations of a
+// tailed file are followed, malformed/oversized/late/corrupt lines are
+// counted by class and optionally preserved in a quarantine file, and
+// -resume checkpoints the window per closed bucket so a killed process
+// restarts without replaying the stream or double-ingesting a line.
 
 import (
-	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"logscape/internal/core"
 	"logscape/internal/core/l1"
@@ -32,6 +41,154 @@ import (
 // previous window to stderr. With -listen, the run's metrics, the latest
 // per-bucket trace and net/http/pprof are served over HTTP while it tails.
 func runFollow(o options) error {
+	return followStream(o, os.Stdout, os.Stderr)
+}
+
+// buildFollowMiner constructs the streaming miner for the selected method.
+func buildFollowMiner(o options, wcfg stream.Config) (stream.Miner, error) {
+	switch o.method {
+	case "l1":
+		cfg := l1.DefaultConfig()
+		cfg.MinLogs = o.minlogs
+		cfg.Workers = o.workers
+		cfg.Metrics = o.metrics
+		return stream.NewL1(wcfg, cfg), nil
+	case "l2":
+		cfg := l2.DefaultConfig()
+		cfg.Timeout = logmodel.SecondsToMillis(o.timeout)
+		if o.timeout == 0 {
+			cfg.Timeout = l2.NoTimeout
+		}
+		cfg.Workers = o.workers
+		cfg.Metrics = o.metrics
+		return stream.NewL2(wcfg, sessions.Config{Metrics: o.metrics}, cfg), nil
+	case "l3":
+		if o.dirPath == "" {
+			return nil, fmt.Errorf("l3 requires -dir")
+		}
+		df, err := os.Open(o.dirPath)
+		if err != nil {
+			return nil, err
+		}
+		dir, err := directory.Read(df)
+		df.Close()
+		if err != nil {
+			return nil, err
+		}
+		cfg := l3.DefaultConfig()
+		cfg.Workers = o.workers
+		cfg.Metrics = o.metrics
+		if !o.nostops {
+			cfg.Stops = hospital.CanonicalStopPatterns()
+		}
+		return stream.NewL3(wcfg, l3.NewMiner(dir, cfg)), nil
+	default:
+		return nil, fmt.Errorf("follow mode supports l1, l2 and l3, not %q", o.method)
+	}
+}
+
+// deltaPrinter renders the per-bucket stderr delta line: the window extent,
+// the model size, and the pairs (or app→service deps) that appeared and
+// disappeared since the previous window.
+type deltaPrinter struct {
+	w         io.Writer
+	deps      bool
+	prevPairs core.PairSet
+	prevDeps  core.AppServiceSet
+}
+
+func (d *deltaPrinter) print(r logmodel.TimeRange, snap core.ModelDocument) {
+	stamp := func(m logmodel.Millis) string {
+		return m.Time().Format("2006-01-02T15:04:05")
+	}
+	if d.deps {
+		cur := snap.DepSet()
+		gone, born := core.DiffDeps(d.prevDeps, cur)
+		fmt.Fprintf(d.w, "window [%s .. %s): %d deps", stamp(r.Start), stamp(r.End), len(cur))
+		for _, dep := range born {
+			fmt.Fprintf(d.w, " +%s->%s", dep.App, dep.Group)
+		}
+		for _, dep := range gone {
+			fmt.Fprintf(d.w, " -%s->%s", dep.App, dep.Group)
+		}
+		fmt.Fprintln(d.w)
+		d.prevDeps = cur
+		return
+	}
+	cur := snap.PairSet()
+	gone, born := core.DiffModels(d.prevPairs, cur)
+	fmt.Fprintf(d.w, "window [%s .. %s): %d pairs", stamp(r.Start), stamp(r.End), len(cur))
+	for _, p := range born {
+		fmt.Fprintf(d.w, " +%s--%s", p.A, p.B)
+	}
+	for _, p := range gone {
+		fmt.Fprintf(d.w, " -%s--%s", p.A, p.B)
+	}
+	fmt.Fprintln(d.w)
+	d.prevPairs = cur
+}
+
+// followSource is the composed hardened input stack.
+type followSource struct {
+	r      io.Reader              // retry (+ gzip) composition; read this
+	tailer *stream.Tailer         // non-nil for a plain file: rotation-aware
+	gz     *stream.TornGzipReader // non-nil for .gz input
+	close  func()
+}
+
+// rotations reports transport rotations seen so far (0 for stdin/.gz).
+func (s *followSource) rotations() int64 {
+	if s.tailer == nil {
+		return 0
+	}
+	return s.tailer.Rotations()
+}
+
+// followBackoff is the CLI retry schedule: 100ms per consecutive attempt,
+// capped at 500ms. Tests never reach it (their transports either succeed or
+// fail non-transiently); it only shapes *when* a live stream is re-read,
+// never what.
+func followBackoff(attempt int) {
+	if attempt > 5 {
+		attempt = 5
+	}
+	time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+}
+
+// openFollowSource builds the hardened read stack for one input name:
+// retries below the decompressor (gzip errors are sticky), torn-tail
+// tolerance for .gz, rotation-aware tailing for plain files.
+func openFollowSource(o options) (*followSource, error) {
+	policy := stream.RetryPolicy{MaxRetries: 8, Backoff: followBackoff}
+	name := o.files[0]
+	if name == "-" {
+		return &followSource{
+			r:     stream.NewRetryReader(os.Stdin, policy, o.metrics),
+			close: func() {},
+		}, nil
+	}
+	if strings.HasSuffix(name, ".gz") {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		gz := stream.NewTornGzipReader(stream.NewRetryReader(f, policy, o.metrics), o.metrics)
+		return &followSource{r: gz, gz: gz, close: func() { f.Close() }}, nil
+	}
+	tl, err := stream.NewTailer(name, stream.TailerConfig{Metrics: o.metrics})
+	if err != nil {
+		return nil, err
+	}
+	return &followSource{
+		r:      stream.NewRetryReader(tl, policy, o.metrics),
+		tailer: tl,
+		close:  func() { tl.Close() },
+	}, nil
+}
+
+// followStream is runFollow with pluggable output streams (testability: the
+// golden-file tests drive it directly).
+func followStream(o options, stdout, stderr io.Writer) error {
 	if len(o.files) != 1 {
 		return fmt.Errorf("follow mode tails exactly one log stream (a file or - for stdin)")
 	}
@@ -44,46 +201,9 @@ func runFollow(o options) error {
 		Workers:       o.workers,
 		Metrics:       o.metrics,
 	}
-
-	var miner stream.Miner
-	switch o.method {
-	case "l1":
-		cfg := l1.DefaultConfig()
-		cfg.MinLogs = o.minlogs
-		cfg.Workers = o.workers
-		cfg.Metrics = o.metrics
-		miner = stream.NewL1(wcfg, cfg)
-	case "l2":
-		cfg := l2.DefaultConfig()
-		cfg.Timeout = logmodel.SecondsToMillis(o.timeout)
-		if o.timeout == 0 {
-			cfg.Timeout = l2.NoTimeout
-		}
-		cfg.Workers = o.workers
-		cfg.Metrics = o.metrics
-		miner = stream.NewL2(wcfg, sessions.Config{Metrics: o.metrics}, cfg)
-	case "l3":
-		if o.dirPath == "" {
-			return fmt.Errorf("l3 requires -dir")
-		}
-		df, err := os.Open(o.dirPath)
-		if err != nil {
-			return err
-		}
-		dir, err := directory.Read(df)
-		df.Close()
-		if err != nil {
-			return err
-		}
-		cfg := l3.DefaultConfig()
-		cfg.Workers = o.workers
-		cfg.Metrics = o.metrics
-		if !o.nostops {
-			cfg.Stops = hospital.CanonicalStopPatterns()
-		}
-		miner = stream.NewL3(wcfg, l3.NewMiner(dir, cfg))
-	default:
-		return fmt.Errorf("follow mode supports l1, l2 and l3, not %q", o.method)
+	miner, err := buildFollowMiner(o, wcfg)
+	if err != nil {
+		return err
 	}
 
 	if o.listen != "" {
@@ -94,9 +214,65 @@ func runFollow(o options) error {
 		defer stop()
 	}
 
-	in := stream.NewIngester(wcfg, miner)
-	var prevPairs core.PairSet
-	var prevDeps core.AppServiceSet
+	// Load the resume checkpoint, if any. A missing file is a fresh start.
+	var cp *stream.Checkpoint
+	if o.resumePath != "" {
+		if o.files[0] == "-" {
+			return fmt.Errorf("-resume requires a file input: stdin cannot be repositioned across restarts")
+		}
+		cp, err = stream.ReadCheckpointFile(o.resumePath)
+		if err != nil {
+			return err
+		}
+		if cp != nil && cp.Rotations > 0 {
+			return fmt.Errorf("checkpoint %s predates %d rotation(s); its offset no longer maps to one file — remove it to start fresh",
+				o.resumePath, cp.Rotations)
+		}
+	}
+
+	var in *stream.Ingester
+	if cp != nil {
+		in, err = cp.Restore(wcfg, miner)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+	} else {
+		in = stream.NewIngester(wcfg, miner)
+	}
+
+	var quarantine io.Writer
+	if o.quarantinePath != "" {
+		qf, err := os.OpenFile(o.quarantinePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer qf.Close()
+		quarantine = qf
+	}
+	feeder := stream.NewFeeder(in, stream.FeederConfig{Quarantine: quarantine, Metrics: o.metrics})
+
+	src, err := openFollowSource(o)
+	if err != nil {
+		return err
+	}
+	defer src.close()
+
+	// Reposition the transport at the checkpoint offset: a seek for a plain
+	// file, a decompressed-byte skip for .gz (the stream is re-read from the
+	// start, but nothing is re-ingested).
+	var base int64
+	if cp != nil {
+		base = cp.Offset
+		if src.tailer != nil {
+			if err := src.tailer.SeekTo(cp.Offset); err != nil {
+				return fmt.Errorf("resume: %w", err)
+			}
+		} else if _, err := io.CopyN(io.Discard, src.r, cp.Offset); err != nil {
+			return fmt.Errorf("resume: skipping %d bytes: %w", cp.Offset, err)
+		}
+	}
+
+	delta := &deltaPrinter{w: stderr, deps: o.method == "l3"}
 	var emitErr error
 	in.OnAdvance = func(b stream.Bucket) {
 		if emitErr != nil {
@@ -109,96 +285,45 @@ func runFollow(o options) error {
 		snap := miner.Snapshot()
 		span.End()
 		span = trace.Child("emit")
-		err := core.WriteModel(os.Stdout, snap)
+		err := core.WriteModel(stdout, snap)
 		span.End()
 		trace.End()
 		if err != nil {
 			emitErr = err
 			return
 		}
-		r := in.WindowRange()
-		if o.method == "l3" {
-			cur := snap.DepSet()
-			gone, born := core.DiffDeps(prevDeps, cur)
-			fmt.Fprintf(os.Stderr, "window [%s .. %s): %d deps",
-				r.Start.Time().Format("2006-01-02T15:04:05"),
-				r.End.Time().Format("2006-01-02T15:04:05"), len(cur))
-			for _, d := range born {
-				fmt.Fprintf(os.Stderr, " +%s->%s", d.App, d.Group)
+		delta.print(in.WindowRange(), snap)
+		if o.resumePath != "" {
+			// Consumed() already covers the line that closed this bucket (it
+			// sits in the checkpoint's pending set), so base+Consumed is an
+			// exact resume point: no replay, no gap.
+			next := in.Checkpoint(base+feeder.Consumed(), src.rotations())
+			if err := stream.WriteCheckpointFile(o.resumePath, next); err != nil {
+				emitErr = fmt.Errorf("writing checkpoint: %w", err)
 			}
-			for _, d := range gone {
-				fmt.Fprintf(os.Stderr, " -%s->%s", d.App, d.Group)
-			}
-			fmt.Fprintln(os.Stderr)
-			prevDeps = cur
-		} else {
-			cur := snap.PairSet()
-			gone, born := core.DiffModels(prevPairs, cur)
-			fmt.Fprintf(os.Stderr, "window [%s .. %s): %d pairs",
-				r.Start.Time().Format("2006-01-02T15:04:05"),
-				r.End.Time().Format("2006-01-02T15:04:05"), len(cur))
-			for _, p := range born {
-				fmt.Fprintf(os.Stderr, " +%s--%s", p.A, p.B)
-			}
-			for _, p := range gone {
-				fmt.Fprintf(os.Stderr, " -%s--%s", p.A, p.B)
-			}
-			fmt.Fprintln(os.Stderr)
-			prevPairs = cur
 		}
 	}
 
-	src, closeSrc, err := openStream(o.files[0])
-	if err != nil {
+	if err := feeder.Run(src.r); err != nil {
 		return err
-	}
-	defer closeSrc()
-
-	rd := logmodel.NewReader(src)
-	malformed := 0
-	for {
-		e, err := rd.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			// A live stream may carry the odd truncated line; skip and
-			// keep following rather than dying mid-tail.
-			malformed++
-			continue
-		}
-		in.Add(e)
-		if emitErr != nil {
-			return emitErr
-		}
 	}
 	in.Flush()
 	if emitErr != nil {
 		return emitErr
 	}
-	s := in.Stats()
-	fmt.Fprintf(os.Stderr, "follow done: %d entries in %d buckets (%d late, %d corrupt, %d malformed lines)\n",
-		s.Accepted, s.Buckets, s.Late, s.Corrupt, malformed)
+
+	s, fs := in.Stats(), feeder.Stats()
+	fmt.Fprintf(stderr, "follow done: %d entries in %d buckets (%d late, %d corrupt, %d malformed, %d oversized, %d quarantined; %d rotations%s)\n",
+		s.Accepted, s.Buckets, s.Late, s.Corrupt, fs.Malformed, fs.Oversized, fs.Quarantined,
+		src.rotations(), tornSuffix(src.gz))
 	printStats(o)
 	return nil
 }
 
-// openStream opens the follow input: "-" is stdin, ".gz" is decompressed.
-func openStream(name string) (io.Reader, func(), error) {
-	if name == "-" {
-		return os.Stdin, func() {}, nil
+// tornSuffix annotates the summary when a .gz stream ended in a tear.
+func tornSuffix(gz *stream.TornGzipReader) string {
+	if gz != nil && gz.Torn() {
+		return ", torn gzip tail"
 	}
-	f, err := os.Open(name)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(name) > 3 && name[len(name)-3:] == ".gz" {
-		zr, err := gzip.NewReader(f)
-		if err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-		return zr, func() { zr.Close(); f.Close() }, nil
-	}
-	return f, func() { f.Close() }, nil
+	return ""
 }

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"logscape/internal/directory"
+	"logscape/internal/logmodel"
+	"logscape/internal/stream"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// followOpts is the baseline follow-mode option set the tests tweak.
+func followOpts(file string) options {
+	return options{
+		method:    "l1",
+		minlogs:   2,
+		timeout:   1,
+		workers:   1,
+		bucketSec: 1,
+		windowN:   2,
+		files:     []string{file},
+	}
+}
+
+// ts renders a millisecond timestamp for 2005-12-06 08:00:00 UTC + off.
+func ts(off time.Duration) logmodel.Millis {
+	base := time.Date(2005, 12, 6, 8, 0, 0, 0, time.UTC)
+	return logmodel.Millis(base.Add(off).UnixMilli())
+}
+
+// line renders one wire-format line.
+func line(at logmodel.Millis, src, msg string) string {
+	return logmodel.FormatEntry(logmodel.Entry{
+		Time: at, Source: src, Host: "h", User: "u", Severity: logmodel.SevInfo, Message: msg,
+	})
+}
+
+// writeLog writes lines (plus trailing newlines) to a temp file and returns
+// its path.
+func writeLog(t *testing.T, lines []string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "follow.log")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// pairCorpus builds a stream whose mined pair set changes as the window
+// slides: sources A and B log in lockstep for the first buckets, then B goes
+// silent and C takes its place — the delta lines must show the A--B pair
+// appearing and later being replaced by A--C.
+func pairCorpus() []string {
+	var lines []string
+	emit := func(bucket int, srcs ...string) {
+		for i := 0; i < 25; i++ {
+			at := ts(time.Duration(bucket)*time.Second + time.Duration(i*37)*time.Millisecond)
+			for _, s := range srcs {
+				lines = append(lines, line(at, s, fmt.Sprintf("tick %d", i)))
+			}
+		}
+	}
+	for b := 0; b < 3; b++ {
+		emit(b, "AppA", "AppB")
+	}
+	for b := 3; b < 6; b++ {
+		emit(b, "AppA", "AppC")
+	}
+	// One entry in bucket 6 so bucket 5 closes before the final flush.
+	lines = append(lines, line(ts(6*time.Second), "AppA", "done"))
+	return lines
+}
+
+// depCorpus builds a citation stream for l3: App1 cites the REG group early,
+// then switches to the STORE group.
+func depCorpus() []string {
+	var lines []string
+	for b := 0; b < 3; b++ {
+		at := ts(time.Duration(b) * time.Second)
+		lines = append(lines, line(at, "App1", "GET http://reg.hug/reg/list"))
+		lines = append(lines, line(at+100, "App1", "reply ok"))
+	}
+	for b := 3; b < 6; b++ {
+		at := ts(time.Duration(b) * time.Second)
+		lines = append(lines, line(at, "App1", "PUT http://store.hug/store/save"))
+		lines = append(lines, line(at+100, "App1", "reply ok"))
+	}
+	lines = append(lines, line(ts(6*time.Second), "App1", "done"))
+	return lines
+}
+
+// writeDirXML persists the test service directory and returns its path.
+func writeDirXML(t *testing.T) string {
+	t.Helper()
+	d := &directory.Directory{Version: 1, Groups: []directory.Group{
+		{ID: "REG", RootURL: "http://reg.hug/reg", Services: []directory.Service{{Name: "list"}}},
+		{ID: "STORE", RootURL: "http://store.hug/store", Services: []directory.Service{{Name: "save"}}},
+	}}
+	path := filepath.Join(t.TempDir(), "dir.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestFollowGoldenPairDeltas(t *testing.T) {
+	o := followOpts(writeLog(t, pairCorpus()))
+	var stdout, stderr bytes.Buffer
+	if err := followStream(o, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "+AppA--AppB") || !strings.Contains(out, "-AppA--AppB") ||
+		!strings.Contains(out, "+AppA--AppC") {
+		t.Errorf("delta lines lack the expected add/remove transitions:\n%s", out)
+	}
+	checkGolden(t, "follow_pairs", stderr.Bytes())
+}
+
+func TestFollowGoldenDepDeltas(t *testing.T) {
+	o := followOpts(writeLog(t, depCorpus()))
+	o.method = "l3"
+	o.dirPath = writeDirXML(t)
+	var stdout, stderr bytes.Buffer
+	if err := followStream(o, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "+App1->REG") || !strings.Contains(out, "-App1->REG") ||
+		!strings.Contains(out, "+App1->STORE") {
+		t.Errorf("delta lines lack the expected dep transitions:\n%s", out)
+	}
+	checkGolden(t, "follow_deps", stderr.Bytes())
+}
+
+// TestFollowResumeContinuesWhereItStopped runs follow over a prefix of the
+// stream with -resume, then over the full file: the second run must pick up
+// at the checkpoint (no replayed buckets) and end on the same final model as
+// an uninterrupted run.
+func TestFollowResumeContinuesWhereItStopped(t *testing.T) {
+	lines := pairCorpus()
+	full := writeLog(t, lines)
+
+	// Uninterrupted reference.
+	ref := followOpts(full)
+	var refOut, refErr bytes.Buffer
+	if err := followStream(ref, &refOut, &refErr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut at a bucket boundary: every line before the cut belongs to buckets
+	// the prefix run closes (or flushes) completely, so its EOF flush and a
+	// mid-stream kill agree on the window state.
+	cut := 0
+	for i, l := range lines {
+		e, err := logmodel.ParseEntry(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Time < ts(3*time.Second) {
+			cut = i + 1
+		}
+	}
+	prefixPath := writeLog(t, lines[:cut])
+	ckpt := filepath.Join(t.TempDir(), "follow.ckpt")
+
+	o1 := followOpts(prefixPath)
+	o1.resumePath = ckpt
+	var out1, err1 bytes.Buffer
+	if err := followStream(o1, &out1, &err1); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := stream.ReadCheckpointFile(ckpt)
+	if err != nil || cp == nil {
+		t.Fatalf("checkpoint after prefix run: %v, %v", cp, err)
+	}
+
+	// The full file has the same bytes for the prefix; resume from it.
+	o2 := followOpts(full)
+	o2.resumePath = ckpt
+	var out2, err2 bytes.Buffer
+	if err := followStream(o2, &out2, &err2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(err2.String(), "[2005-12-06T08:00:00 ..") {
+		t.Errorf("resumed run re-emitted the first window:\n%s", err2.String())
+	}
+	// The final emitted model document must match the uninterrupted run's.
+	lastDoc := func(s string) string {
+		docs := strings.Split(strings.TrimSpace(s), "}\n{")
+		return docs[len(docs)-1]
+	}
+	if lastDoc(out2.String()) != lastDoc(refOut.String()) {
+		t.Errorf("final model after resume differs\nresumed: %s\nref:     %s",
+			lastDoc(out2.String()), lastDoc(refOut.String()))
+	}
+}
+
+func TestFollowResumeRefusals(t *testing.T) {
+	o := followOpts("-")
+	o.resumePath = filepath.Join(t.TempDir(), "ckpt")
+	if err := followStream(o, &bytes.Buffer{}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "stdin") {
+		t.Errorf("stdin resume = %v, want refusal naming stdin", err)
+	}
+
+	// A checkpoint taken after a rotation must be refused: its offset no
+	// longer maps to one file.
+	log := writeLog(t, pairCorpus())
+	o = followOpts(log)
+	o.resumePath = filepath.Join(t.TempDir(), "rotated.ckpt")
+	in := stream.NewIngester(stream.Config{BucketWidth: 1000, WindowBuckets: 2})
+	if err := stream.WriteCheckpointFile(o.resumePath, in.Checkpoint(10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := followStream(o, &bytes.Buffer{}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "rotation") {
+		t.Errorf("rotated checkpoint = %v, want refusal naming rotation", err)
+	}
+}
+
+func TestFollowQuarantineFile(t *testing.T) {
+	lines := pairCorpus()
+	withJunk := append([]string{"junk line, no tabs"}, lines...)
+	o := followOpts(writeLog(t, withJunk))
+	o.quarantinePath = filepath.Join(t.TempDir(), "quarantine.log")
+	var stdout, stderr bytes.Buffer
+	if err := followStream(o, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	q, err := os.ReadFile(o.quarantinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "malformed\tjunk line, no tabs\n"; string(q) != want {
+		t.Errorf("quarantine file = %q, want %q", q, want)
+	}
+	if !strings.Contains(stderr.String(), "1 malformed, 0 oversized, 1 quarantined") {
+		t.Errorf("summary does not account the quarantined line:\n%s", stderr.String())
+	}
+}

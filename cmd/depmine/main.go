@@ -34,6 +34,12 @@
 //	                document to stdout, a delta summary to stderr
 //	-bucket SEC     bucket width in seconds (default 3600)
 //	-window N       window size in buckets (default 24)
+//	-resume FILE    checkpoint file: written atomically on every closed
+//	                bucket, loaded on start to resume a killed follow run
+//	                without replaying the stream or double-ingesting a line
+//	                (refused after a file rotation, and for stdin input)
+//	-quarantine FILE  append every rejected line, prefixed with its fault
+//	                class (malformed, oversized, late, corrupt)
 package main
 
 import (
@@ -58,23 +64,25 @@ import (
 // options carries every parsed flag plus the run's metrics registry (nil
 // when observability is off).
 type options struct {
-	method    string
-	dirPath   string
-	truthPath string
-	dotPath   string
-	jsonPath  string
-	impact    string
-	timeout   float64
-	minlogs   int
-	workers   int
-	nostops   bool
-	direction bool
-	stats     bool
-	listen    string
-	bucketSec float64
-	windowN   int
-	files     []string
-	metrics   *obs.Registry
+	method         string
+	dirPath        string
+	truthPath      string
+	dotPath        string
+	jsonPath       string
+	impact         string
+	timeout        float64
+	minlogs        int
+	workers        int
+	nostops        bool
+	direction      bool
+	stats          bool
+	listen         string
+	bucketSec      float64
+	windowN        int
+	resumePath     string
+	quarantinePath string
+	files          []string
+	metrics        *obs.Registry
 }
 
 func main() {
@@ -95,6 +103,8 @@ func main() {
 	follow := flag.Bool("follow", false, "streaming mode: tail one log stream and emit the sliding-window model per bucket")
 	flag.Float64Var(&o.bucketSec, "bucket", 3600, "follow mode: bucket width in seconds")
 	flag.IntVar(&o.windowN, "window", 24, "follow mode: window size in buckets")
+	flag.StringVar(&o.resumePath, "resume", "", "follow mode: checkpoint file — written per closed bucket, loaded on start to resume after a kill")
+	flag.StringVar(&o.quarantinePath, "quarantine", "", "follow mode: append rejected lines (malformed/oversized/late/corrupt) to this file")
 	flag.Parse()
 	o.files = flag.Args()
 	if len(o.files) == 0 {

@@ -16,9 +16,13 @@ import (
 // The format is intentionally trivial: the paper's point is that the miners
 // need almost no structure, so the substrate should not either.
 
-// timeLayout is RFC3339 with millisecond precision, the timestamp format of
-// the wire format.
-const timeLayout = "2006-01-02T15:04:05.000Z07:00"
+// TimeLayout is RFC3339 with millisecond precision, the timestamp format of
+// the wire format. Exported so tooling that rewrites wire lines in place
+// (e.g. the chaos injector's clock-skew fault) shares the exact layout.
+const TimeLayout = "2006-01-02T15:04:05.000Z07:00"
+
+// timeLayout is the internal alias TimeLayout grew out of.
+const timeLayout = TimeLayout
 
 // FormatEntry renders an entry as one wire-format line (without trailing
 // newline).

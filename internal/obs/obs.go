@@ -259,6 +259,20 @@ func Meter[T any](r *Registry, stage string, fn func(i int) T) func(i int) T {
 	}
 }
 
+// Classes returns one counter per class name under a shared prefix, keyed
+// by class for direct indexing — the per-fault-class drop accounting of the
+// hardened ingest path: Classes(r, "ingest.lines_", "malformed", ...) maps
+// "malformed" to the counter "ingest.lines_malformed". Class counts must
+// stay input-determined, like every counter. A nil registry yields a map of
+// nil (no-op) counters, so callers index and increment unconditionally.
+func Classes(r *Registry, prefix string, names ...string) map[string]*Counter {
+	out := make(map[string]*Counter, len(names))
+	for _, name := range names {
+		out[name] = r.Counter(prefix + name)
+	}
+	return out
+}
+
 // MeterShards instruments the body of a shard fan-out (parallel.MapShards)
 // for one named stage, recording per-shard busy time into
 // "<stage>.busy_ns". Unlike Meter it deliberately keeps no counter: the

@@ -220,3 +220,33 @@ func TestSystemClockMonotonic(t *testing.T) {
 		t.Fatalf("SystemClock not monotonic: %d then %d", a, b)
 	}
 }
+
+func TestClassesCounters(t *testing.T) {
+	r := obs.New()
+	cs := obs.Classes(r, "ingest.lines_", "malformed", "oversized", "quarantined")
+	if len(cs) != 3 {
+		t.Fatalf("Classes returned %d counters, want 3", len(cs))
+	}
+	cs["malformed"].Add(2)
+	cs["oversized"].Inc()
+	if got := r.Counter("ingest.lines_malformed").Value(); got != 2 {
+		t.Errorf("ingest.lines_malformed = %d, want 2", got)
+	}
+	if got := r.Counter("ingest.lines_oversized").Value(); got != 1 {
+		t.Errorf("ingest.lines_oversized = %d, want 1", got)
+	}
+	if got := r.Counter("ingest.lines_quarantined").Value(); got != 0 {
+		t.Errorf("ingest.lines_quarantined = %d, want 0", got)
+	}
+}
+
+func TestClassesNilRegistry(t *testing.T) {
+	cs := obs.Classes(nil, "x.", "a", "b")
+	if len(cs) != 2 {
+		t.Fatalf("Classes returned %d counters, want 2", len(cs))
+	}
+	cs["a"].Inc() // must be a safe no-op
+	if got := cs["b"].Value(); got != 0 {
+		t.Errorf("nil-registry counter value = %d, want 0", got)
+	}
+}

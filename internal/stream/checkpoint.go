@@ -1,0 +1,195 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"logscape/internal/logmodel"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// Checkpoint is a serializable snapshot of an Ingester's window state plus
+// the transport position it corresponds to: everything a killed follow
+// process needs to resume without replaying the whole stream and without
+// double-ingesting a single line. Entries are stored as wire-format lines
+// (byte slices, base64 in JSON, so messages that are not valid UTF-8
+// survive the round trip — encoding/json would otherwise mangle them).
+//
+// The checkpoint deliberately holds no miner state: miners are rebuilt on
+// restore by replaying the window's buckets through Advance. The streaming
+// contract — Snapshot is a pure function of the window's entries — makes
+// that replay exact, and pinning one serialization per miner would couple
+// the format to every miner's internals.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Offset is the logical stream position just past the last processed
+	// line (Feeder.Consumed at checkpoint time): resume by skipping exactly
+	// this many decompressed bytes, or seeking to it in a plain file.
+	Offset int64 `json:"offset"`
+	// Rotations is the tailer's rotation count at checkpoint time. A plain
+	// Offset is only seekable while it is 0 — after a rotation the offset
+	// no longer maps to one file.
+	Rotations int64 `json:"rotations"`
+
+	// BucketWidth and WindowBuckets pin the window geometry; restore
+	// refuses a mismatching Config instead of mis-bucketing silently.
+	BucketWidth   logmodel.Millis `json:"bucket_width"`
+	WindowBuckets int             `json:"window_buckets"`
+
+	Origin  logmodel.Millis    `json:"origin"`
+	Cur     int64              `json:"cur"`
+	Open    bool               `json:"open"`
+	Pending [][]byte           `json:"pending,omitempty"`
+	Buckets []CheckpointBucket `json:"buckets,omitempty"`
+	Stats   IngestStats        `json:"stats"`
+}
+
+// CheckpointBucket is one delivered window bucket in checkpoint form. Its
+// time range is not stored: it is derived from Origin + Index·BucketWidth.
+type CheckpointBucket struct {
+	Index   int64    `json:"index"`
+	Entries [][]byte `json:"entries"`
+}
+
+// Checkpoint captures the ingester's current window state. offset and
+// rotations describe the transport position (see the field docs); callers
+// typically take a checkpoint inside OnAdvance, right after a bucket
+// closed, with offset = Feeder.Consumed().
+func (in *Ingester) Checkpoint(offset, rotations int64) *Checkpoint {
+	c := &Checkpoint{
+		Version:       checkpointVersion,
+		Offset:        offset,
+		Rotations:     rotations,
+		BucketWidth:   in.cfg.BucketWidth,
+		WindowBuckets: in.cfg.WindowBuckets,
+		Origin:        in.origin,
+		Cur:           in.cur,
+		Open:          in.open,
+		Stats:         in.stats,
+	}
+	if !in.started {
+		c.Cur = -1 // sentinel: no origin fixed yet
+	}
+	for _, e := range in.pending {
+		c.Pending = append(c.Pending, []byte(logmodel.FormatEntry(e)))
+	}
+	for _, b := range in.win {
+		cb := CheckpointBucket{Index: b.Index}
+		for _, e := range b.Entries {
+			cb.Entries = append(cb.Entries, []byte(logmodel.FormatEntry(e)))
+		}
+		c.Buckets = append(c.Buckets, cb)
+	}
+	return c
+}
+
+// Restore rebuilds an ingester (and the given freshly constructed miners)
+// from the checkpoint: window buckets are replayed through every miner's
+// Advance in index order, pending entries are reinstated, and the window
+// gauges are re-set. The miners must be new — replay on top of existing
+// state would double-count. Metric counters restart from zero (a resumed
+// process is a new process); IngestStats continuity comes from the
+// checkpoint itself.
+func (c *Checkpoint) Restore(cfg Config, miners ...Miner) (*Ingester, error) {
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("stream: checkpoint version %d, want %d", c.Version, checkpointVersion)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.BucketWidth != c.BucketWidth || cfg.WindowBuckets != c.WindowBuckets {
+		return nil, fmt.Errorf("stream: checkpoint window geometry %dms×%d does not match configured %dms×%d",
+			c.BucketWidth, c.WindowBuckets, cfg.BucketWidth, cfg.WindowBuckets)
+	}
+	in := NewIngester(cfg, miners...)
+	in.stats = c.Stats
+	if c.Cur < 0 {
+		return in, nil // checkpointed before the first accepted entry
+	}
+	in.started = true
+	in.origin = c.Origin
+	in.cur = c.Cur
+	in.open = c.Open
+
+	var err error
+	in.pending, err = parseLines(c.Pending)
+	if err != nil {
+		return nil, fmt.Errorf("stream: checkpoint pending: %w", err)
+	}
+	last := int64(-1)
+	winEntries := int64(0)
+	for _, cb := range c.Buckets {
+		if cb.Index <= last {
+			return nil, fmt.Errorf("stream: checkpoint buckets out of order (%d after %d)", cb.Index, last)
+		}
+		last = cb.Index
+		es, err := parseLines(cb.Entries)
+		if err != nil {
+			return nil, fmt.Errorf("stream: checkpoint bucket %d: %w", cb.Index, err)
+		}
+		start := c.Origin + logmodel.Millis(cb.Index)*cfg.BucketWidth
+		b := Bucket{
+			Index:   cb.Index,
+			Range:   logmodel.TimeRange{Start: start, End: start + cfg.BucketWidth},
+			Entries: es,
+		}
+		in.win = append(in.win, b)
+		winEntries += int64(len(es))
+		for _, m := range in.miners {
+			m.Advance(b)
+		}
+	}
+	in.mWinBuckets.Set(int64(len(in.win)))
+	in.mWinEntries.Set(winEntries)
+	return in, nil
+}
+
+// parseLines decodes wire-format lines back into entries.
+func parseLines(lines [][]byte) ([]logmodel.Entry, error) {
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	es := make([]logmodel.Entry, 0, len(lines))
+	for _, l := range lines {
+		e, err := logmodel.ParseEntry(string(l))
+		if err != nil {
+			return nil, err
+		}
+		es = append(es, e)
+	}
+	return es, nil
+}
+
+// WriteCheckpointFile atomically persists the checkpoint: write to a
+// sibling temp file, fsync-free rename over the target. A crash mid-write
+// leaves the previous checkpoint intact — resume never sees a torn file.
+func WriteCheckpointFile(path string, c *Checkpoint) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile.
+// A missing file returns (nil, nil): "no checkpoint yet" is the normal
+// first-run state, not an error.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("stream: checkpoint %s: %w", path, err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,364 @@
+package stream
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+
+	"logscape/internal/logmodel"
+	"logscape/internal/obs"
+)
+
+// This file is the hardened ingest path: the pieces between a hostile
+// transport and the Ingester. A production log stream arrives truncated,
+// corrupted, duplicated, reordered and torn (see internal/chaos for the
+// fault model); the layers here guarantee that whatever the transport
+// mangles, the mined model stays a pure function of the entries that were
+// actually accepted — every rejected line is counted by fault class and,
+// optionally, preserved verbatim in a quarantine sink.
+//
+// Composition order (outermost source first):
+//
+//	Tailer | os.Stdin | *os.File
+//	  → RetryReader      bounded deterministic retry on transient errors
+//	  → TornGzipReader   (gz input only) torn-trailer tolerance
+//	  → Feeder           line splitting, parsing, quarantine, Ingester
+
+// transientError marks an error as transient: worth a bounded retry rather
+// than a stream abort.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as a transient read error. The chaos injector's burst
+// stalls produce these; a real transport adapter can wrap recoverable
+// syscall errors the same way.
+func Transient(err error) error { return &transientError{err: err} }
+
+// IsTransient reports whether err is (or wraps) a transient read error.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// RetryPolicy bounds how the ingest path reacts to transient read errors.
+type RetryPolicy struct {
+	// MaxRetries is the number of consecutive transient failures tolerated
+	// before the error is surfaced. 0 means no retries.
+	MaxRetries int
+	// Backoff, when non-nil, is called before retry attempt n (1-based).
+	// It is the only place the ingest path may block; tests leave it nil,
+	// the CLI installs a capped time.Sleep schedule. Determinism note: the
+	// backoff must not influence *what* is read, only when.
+	Backoff func(attempt int)
+}
+
+// RetryReader absorbs transient errors from an underlying reader with a
+// bounded deterministic retry loop. Non-transient errors and io.EOF pass
+// through unchanged. The retry counter resets on every successful read, so
+// MaxRetries bounds consecutive failures, not lifetime failures — a stream
+// with periodic stalls survives indefinitely.
+type RetryReader struct {
+	r        io.Reader
+	policy   RetryPolicy
+	attempts int
+	mRetries *obs.Counter
+}
+
+// NewRetryReader wraps r with the given policy. Metrics may be nil.
+func NewRetryReader(r io.Reader, policy RetryPolicy, m *obs.Registry) *RetryReader {
+	return &RetryReader{r: r, policy: policy, mRetries: m.Counter("ingest.read_retries")}
+}
+
+// Read implements io.Reader.
+func (r *RetryReader) Read(p []byte) (int, error) {
+	for {
+		n, err := r.r.Read(p)
+		if n > 0 || err == nil {
+			r.attempts = 0
+			return n, nil
+		}
+		if err == io.EOF || !IsTransient(err) {
+			return 0, err
+		}
+		if r.attempts >= r.policy.MaxRetries {
+			return 0, err
+		}
+		r.attempts++
+		r.mRetries.Inc()
+		if r.policy.Backoff != nil {
+			r.policy.Backoff(r.attempts)
+		}
+	}
+}
+
+// TornGzipReader decompresses a gzip stream, treating a torn tail — a
+// truncated member, a missing trailer, a corrupt checksum — as a clean end
+// of stream instead of an error: the decompressed prefix is delivered, the
+// tear is counted (ingest.gz_torn) and reported via Torn(). Rationale: a
+// rotated-away or crash-cut .gz segment still carries a usable prefix, and
+// the batch-equivalence contract is over accepted entries, not over bytes
+// the transport lost.
+type TornGzipReader struct {
+	src   io.Reader
+	zr    *gzip.Reader
+	torn  bool
+	done  bool
+	mTorn *obs.Counter
+}
+
+// NewTornGzipReader returns a tolerant gzip reader over src. Metrics may be
+// nil. The gzip header is read lazily on first Read, so a stream torn
+// inside the header yields zero bytes, not a construction error.
+func NewTornGzipReader(src io.Reader, m *obs.Registry) *TornGzipReader {
+	return &TornGzipReader{src: src, mTorn: m.Counter("ingest.gz_torn")}
+}
+
+// Torn reports whether the stream ended in a tear rather than a clean
+// trailer.
+func (g *TornGzipReader) Torn() bool { return g.torn }
+
+// Read implements io.Reader.
+func (g *TornGzipReader) Read(p []byte) (int, error) {
+	if g.done {
+		return 0, io.EOF
+	}
+	if g.zr == nil {
+		zr, err := gzip.NewReader(g.src)
+		if err != nil {
+			if g.tearOK(err) {
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		g.zr = zr
+	}
+	n, err := g.zr.Read(p)
+	if err != nil && err != io.EOF {
+		if g.tearOK(err) {
+			err = io.EOF
+		}
+		return n, err
+	}
+	return n, err
+}
+
+// tearOK classifies err: true for the error shapes a torn tail produces,
+// marking the stream torn and finished. Transient errors from the
+// underlying reader are never a tear (they propagate for retry below).
+func (g *TornGzipReader) tearOK(err error) bool {
+	if IsTransient(err) {
+		return false
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, gzip.ErrChecksum) ||
+		errors.Is(err, gzip.ErrHeader) || errors.Is(err, io.EOF) {
+		g.torn = true
+		g.done = true
+		g.mTorn.Inc()
+		return true
+	}
+	return false
+}
+
+// MaxLineBytes caps one wire-format line. Longer lines are dropped as
+// oversized (quarantined, counted) and the remainder of the physical line
+// is discarded — a corrupted stream must not make the reader buffer
+// unboundedly. The cap matches the batch reader's scanner limit.
+const MaxLineBytes = 1 << 22
+
+// FeedStats summarizes one Feeder run, by fault class.
+type FeedStats struct {
+	// Lines is the number of non-blank lines offered to the parser.
+	Lines int
+	// Malformed lines failed wire-format parsing (mid-record truncation and
+	// byte corruption land here).
+	Malformed int
+	// Oversized lines exceeded MaxLineBytes and were discarded unparsed.
+	Oversized int
+	// Late and Corrupt mirror the ingester's verdicts for parsed entries.
+	Late, Corrupt int
+	// Quarantined is the number of rejected lines written to the sink.
+	Quarantined int
+}
+
+// FeederConfig parameterizes a Feeder.
+type FeederConfig struct {
+	// Quarantine, when non-nil, receives one line per rejected input line:
+	// "<class>\t<raw line>\n" where class is malformed, oversized, late or
+	// corrupt. A sink write error disables the sink (counted as
+	// ingest.quarantine_errors) rather than aborting the stream.
+	Quarantine io.Writer
+	// Metrics, when non-nil, collects the per-fault-class drop counters
+	// (ingest.lines_malformed, ingest.lines_oversized, ingest.quarantined,
+	// ingest.quarantine_errors; late/corrupt are counted by the ingester as
+	// stream.entries_late / stream.entries_corrupt).
+	Metrics *obs.Registry
+}
+
+// Feeder drains a byte stream into an Ingester: it splits lines itself (no
+// bufio.Scanner, so a transient mid-line error can resume where it
+// stopped), parses each line, quarantines rejects by fault class, and
+// tracks the logical byte offset of the last fully processed line — the
+// resume position a Checkpoint records.
+type Feeder struct {
+	in       *Ingester
+	cfg      FeederConfig
+	stats    FeedStats
+	consumed int64
+	classes  map[string]*obs.Counter
+	qErrors  *obs.Counter
+	qDead    bool
+}
+
+// NewFeeder returns a feeder delivering into in.
+func NewFeeder(in *Ingester, cfg FeederConfig) *Feeder {
+	return &Feeder{
+		in:  in,
+		cfg: cfg,
+		classes: obs.Classes(cfg.Metrics, "ingest.lines_",
+			"malformed", "oversized", "quarantined"),
+		qErrors: cfg.Metrics.Counter("ingest.quarantine_errors"),
+	}
+}
+
+// Stats returns the per-class accounting so far.
+func (f *Feeder) Stats() FeedStats { return f.stats }
+
+// Consumed returns the logical offset just past the last fully processed
+// line: the number of decompressed stream bytes (including each line's
+// newline) whose effect — acceptance or rejection — is already reflected in
+// the ingester. It advances before an entry is offered to Add, so a
+// checkpoint taken inside OnAdvance covers the entry that closed the
+// bucket; resuming at Consumed neither replays nor skips any line.
+func (f *Feeder) Consumed() int64 { return f.consumed }
+
+// Run drains r to EOF, feeding the ingester. It does not Flush: the caller
+// decides whether EOF is end-of-stream or a pause. A read error (after the
+// RetryReader below gave up, if one is installed) is returned as-is with
+// everything before it already processed.
+func (f *Feeder) Run(r io.Reader) error {
+	var buf []byte
+	chunk := make([]byte, 32<<10)
+	skipping := false // inside an oversized line, discarding to newline
+	for {
+		n, err := r.Read(chunk)
+		if n > 0 {
+			buf = append(buf, chunk[:n]...)
+			buf = f.drain(buf, &skipping)
+		}
+		if err == io.EOF {
+			// A final unterminated line is still a line: either the stream
+			// legitimately lacks a trailing newline, or the tail was torn
+			// mid-record — the parser decides which by accepting or
+			// rejecting it.
+			if len(buf) > 0 && !skipping {
+				f.consumed += int64(len(buf))
+				f.line(buf)
+			} else if skipping {
+				f.consumed += int64(len(buf))
+				f.reject(nil, "oversized")
+				f.stats.Oversized++
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// drain processes every complete line in buf, returning the unprocessed
+// remainder (compacted to the front).
+func (f *Feeder) drain(buf []byte, skipping *bool) []byte {
+	start := 0
+	for {
+		i := bytes.IndexByte(buf[start:], '\n')
+		if i < 0 {
+			break
+		}
+		line := buf[start : start+i]
+		f.consumed += int64(i + 1)
+		if *skipping {
+			*skipping = false
+			f.reject(nil, "oversized")
+			f.stats.Oversized++
+		} else {
+			f.line(line)
+		}
+		start += i + 1
+	}
+	rest := buf[start:]
+	if *skipping {
+		// Mid-discard of an oversized line: drop everything up to the
+		// newline that ends it (handled above once it arrives).
+		f.consumed += int64(len(rest))
+		rest = rest[:0]
+	} else if len(rest) > MaxLineBytes {
+		// The pending partial line is already over the cap: discard what we
+		// have and keep discarding until its newline arrives.
+		f.consumed += int64(len(rest))
+		*skipping = true
+		rest = rest[:0]
+	}
+	// Compact so the backing array doesn't grow with the stream.
+	n := copy(buf, rest)
+	return buf[:n]
+}
+
+// line classifies and delivers one complete line.
+func (f *Feeder) line(line []byte) {
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	if len(line) == 0 {
+		return
+	}
+	f.stats.Lines++
+	if len(line) > MaxLineBytes {
+		// Quarantine the class marker only: preserving multi-megabyte junk
+		// verbatim would turn the quarantine file into the attack surface.
+		f.stats.Oversized++
+		f.reject(nil, "oversized")
+		return
+	}
+	e, err := logmodel.ParseEntry(string(line))
+	if err != nil {
+		f.stats.Malformed++
+		f.reject(line, "malformed")
+		return
+	}
+	switch f.in.Add(e) {
+	case VerdictLate:
+		f.stats.Late++
+		f.reject(line, "late")
+	case VerdictCorrupt:
+		f.stats.Corrupt++
+		f.reject(line, "corrupt")
+	}
+}
+
+// reject counts a dropped line by class and writes it to the quarantine
+// sink. A nil line (an oversized line whose bytes were already discarded)
+// quarantines the class marker alone.
+func (f *Feeder) reject(line []byte, class string) {
+	if c := f.classes[class]; c != nil {
+		c.Inc()
+	}
+	if f.cfg.Quarantine == nil || f.qDead {
+		return
+	}
+	if _, err := fmt.Fprintf(f.cfg.Quarantine, "%s\t%s\n", class, line); err != nil {
+		// Quarantine is best-effort evidence capture: losing it must not
+		// take down the tail. Disable the sink and count the failure.
+		f.qDead = true
+		f.qErrors.Inc()
+		return
+	}
+	f.stats.Quarantined++
+	if c := f.classes["quarantined"]; c != nil {
+		c.Inc()
+	}
+}

@@ -76,12 +76,39 @@ func NewIngester(cfg Config, miners ...Miner) *Ingester {
 	}
 }
 
-// Add consumes one entry.
-func (in *Ingester) Add(e logmodel.Entry) {
+// Verdict is the fate of one entry offered to Add: accepted into a bucket,
+// or dropped with a fault class. The hardened ingest path (Feeder) uses it
+// to route rejected raw lines to the quarantine sink with a reason.
+type Verdict int
+
+// Add verdicts.
+const (
+	// VerdictAccepted: the entry was placed into the open bucket.
+	VerdictAccepted Verdict = iota
+	// VerdictLate: the entry's bucket had already closed.
+	VerdictLate
+	// VerdictCorrupt: the entry's timestamp is outside (−MaxAbsTime, MaxAbsTime).
+	VerdictCorrupt
+)
+
+// String names the verdict's fault class ("accepted", "late", "corrupt").
+func (v Verdict) String() string {
+	switch v {
+	case VerdictLate:
+		return "late"
+	case VerdictCorrupt:
+		return "corrupt"
+	default:
+		return "accepted"
+	}
+}
+
+// Add consumes one entry and reports its fate.
+func (in *Ingester) Add(e logmodel.Entry) Verdict {
 	if e.Time <= -MaxAbsTime || e.Time >= MaxAbsTime {
 		in.stats.Corrupt++
 		in.mCorrupt.Inc()
-		return
+		return VerdictCorrupt
 	}
 	if !in.started {
 		in.started = true
@@ -97,15 +124,25 @@ func (in *Ingester) Add(e logmodel.Entry) {
 	case idx < in.cur, idx == in.cur && !in.open:
 		in.stats.Late++
 		in.mLate.Inc()
-		return
+		return VerdictLate
 	case idx > in.cur:
-		in.close()
+		// Seal the closing bucket, admit the advancing entry into the new
+		// bucket, and only then deliver: a checkpoint taken inside OnAdvance
+		// must already cover this entry, because Feeder.Consumed — the offset
+		// the checkpoint records — has already advanced past its line.
+		sealed := in.seal()
 		in.cur = idx
 		in.open = true
+		in.pending = append(in.pending, e)
+		in.stats.Accepted++
+		in.mAccepted.Inc()
+		in.deliver(sealed)
+		return VerdictAccepted
 	}
 	in.pending = append(in.pending, e)
 	in.stats.Accepted++
 	in.mAccepted.Inc()
+	return VerdictAccepted
 }
 
 // AddAll consumes all entries of es.
@@ -122,10 +159,17 @@ func (in *Ingester) Flush() {
 	in.close()
 }
 
-// close delivers the open bucket, if any.
+// close seals and delivers the open bucket, if any.
 func (in *Ingester) close() {
+	in.deliver(in.seal())
+}
+
+// seal closes the open bucket — sorting its entries, appending it to the
+// window, updating stats and gauges — without delivering it to miners yet.
+// Returns nil if no bucket was open.
+func (in *Ingester) seal() *Bucket {
 	if !in.open {
-		return
+		return nil
 	}
 	in.open = false
 	sort.SliceStable(in.pending, func(i, j int) bool {
@@ -155,12 +199,19 @@ func (in *Ingester) close() {
 		winEntries += int64(len(in.win[i].Entries))
 	}
 	in.mWinEntries.Set(winEntries)
+	return &b
+}
 
+// deliver pushes a sealed bucket through the miners and OnAdvance.
+func (in *Ingester) deliver(b *Bucket) {
+	if b == nil {
+		return
+	}
 	for _, m := range in.miners {
-		m.Advance(b)
+		m.Advance(*b)
 	}
 	if in.OnAdvance != nil {
-		in.OnAdvance(b)
+		in.OnAdvance(*b)
 	}
 }
 

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -91,6 +92,35 @@ func TestIngesterCorruptTimestamps(t *testing.T) {
 	}
 	if len(*got) != 1 || len((*got)[0].Entries) != 1 {
 		t.Fatalf("expected one bucket with the single accepted entry, got %+v", *got)
+	}
+}
+
+func TestIngesterTimestampClampBoundaries(t *testing.T) {
+	// Regression pin for the ±2^60 ms clamp: the accepted range is the open
+	// interval (−MaxAbsTime, MaxAbsTime). The extremes of int64 must be
+	// rejected too — bucket-index arithmetic on them would overflow.
+	if MaxAbsTime != 1<<60 {
+		t.Fatalf("MaxAbsTime = %d, want 1<<60; the boundary cases below pin that value", int64(MaxAbsTime))
+	}
+	cases := []struct {
+		name string
+		ts   logmodel.Millis
+		want Verdict
+	}{
+		{"MinInt64", logmodel.Millis(math.MinInt64), VerdictCorrupt},
+		{"MaxInt64", logmodel.Millis(math.MaxInt64), VerdictCorrupt},
+		{"-2^60", -MaxAbsTime, VerdictCorrupt},
+		{"+2^60", MaxAbsTime, VerdictCorrupt},
+		{"-(2^60-1)", -(MaxAbsTime - 1), VerdictAccepted},
+		{"+(2^60-1)", MaxAbsTime - 1, VerdictAccepted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := NewIngester(Config{BucketWidth: 1000, WindowBuckets: 2})
+			if got := in.Add(at(tc.ts, "A")); got != tc.want {
+				t.Errorf("Add(%d) = %v, want %v", int64(tc.ts), got, tc.want)
+			}
+		})
 	}
 }
 
