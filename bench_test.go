@@ -9,6 +9,7 @@ package logscape_test
 // EXPERIMENTS.md data source.
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -580,6 +581,50 @@ func BenchmarkStreamWindowScaling(b *testing.B) {
 		b.Run(fmt.Sprintf("stream-w%d", w), func(b *testing.B) { benchmarkStreaming(b, mkStreamL1, w) })
 		b.Run(fmt.Sprintf("batch-w%d", w), func(b *testing.B) { benchmarkBatchWindows(b, mkStreamL1, w) })
 	}
+}
+
+// --- Ingestion hot-path benchmarks (the bench-gate set) ---------------------
+//
+// BenchmarkIngestE2E is the headline entries/sec/core number: the synthetic
+// week rendered to wire format once, then each iteration drives the full
+// parse → bucket path (Feeder line assembly, wire parsing, Ingester
+// bucketing and bucket-close sorts) over the rendered bytes on one
+// goroutine, so entries/s is entries/sec/core. No miners are attached: this
+// isolates the ingestion ceiling everything above it rides on. The ns/op of
+// this benchmark is compared against BENCH_BASELINE.json by the CI
+// bench-gate job (see cmd/benchjson compare).
+func BenchmarkIngestE2E(b *testing.B) {
+	r := benchSetup(b)
+	var buf bytes.Buffer
+	entries := 0
+	for d := 0; d < 7; d++ {
+		if err := logmodel.WriteAll(&buf, r.Stores[d]); err != nil {
+			b.Fatal(err)
+		}
+		entries += r.Stores[d].Len()
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var stats stream.IngestStats
+	for i := 0; i < b.N; i++ {
+		in := stream.NewIngester(stream.Config{
+			BucketWidth:    logmodel.MillisPerHour,
+			WindowBuckets:  24,
+			Workers:        1,
+			RecycleBuckets: true,
+		})
+		f := stream.NewFeeder(in, stream.FeederConfig{})
+		if err := f.Run(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+		in.Flush()
+		stats = in.Stats()
+	}
+	if stats.Accepted != entries {
+		b.Fatalf("ingested %d entries, want %d", stats.Accepted, entries)
+	}
+	b.ReportMetric(float64(entries*b.N)/b.Elapsed().Seconds(), "entries/s")
 }
 
 // BenchmarkSlotTest measures the core L1 primitive.

@@ -12,11 +12,23 @@
 // Usage:
 //
 //	go test -run '^$' -bench ... -benchtime 1x -benchmem . | benchjson > BENCH_PR.json
+//	benchjson compare [-tol PCT] BENCH_BASELINE.json BENCH_PR.json
+//
+// The compare subcommand is the CI bench gate: it diffs a new measurement
+// document against a committed baseline and exits non-zero when any
+// benchmark regresses — ns/op beyond the -tol percentage (default 50, wide
+// because shared CI runners are noisy), or allocs/op above the baseline at
+// all (allocation counts are deterministic, so any increase is a real
+// regression, not noise). A benchmark present in the baseline but missing
+// from the new document also fails — silently dropping a gated benchmark
+// must not pass the gate. New benchmarks and allocs/op improvements are
+// reported but do not fail; docs/operations.md describes re-baselining.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"math"
@@ -112,7 +124,124 @@ func parseBench(r io.Reader) ([]result, error) {
 	return out, nil
 }
 
+// loadResults reads one benchmark JSON document, rejecting anything the
+// gate cannot compare meaningfully: non-finite or negative ns/op, negative
+// allocs/op, duplicate or empty names.
+func loadResults(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	seen := make(map[string]bool, len(rs))
+	for _, r := range rs {
+		if r.Name == "" {
+			return nil, fmt.Errorf("%s: result with empty benchmark name", path)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("%s: duplicate benchmark %s", path, r.Name)
+		}
+		seen[r.Name] = true
+		if math.IsNaN(r.NsPerOp) || math.IsInf(r.NsPerOp, 0) || r.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: %s has unusable ns/op %v", path, r.Name, r.NsPerOp)
+		}
+		if r.AllocsPerOp < 0 {
+			return nil, fmt.Errorf("%s: %s has negative allocs/op %d", path, r.Name, r.AllocsPerOp)
+		}
+	}
+	return rs, nil
+}
+
+// compare diffs new against old and writes a per-benchmark report to w.
+// It returns false when the gate should fail: a baseline benchmark missing
+// from new, ns/op regressed beyond tol percent, or allocs/op increased.
+func compare(old, new []result, tol float64, w io.Writer) bool {
+	newBy := make(map[string]result, len(new))
+	for _, r := range new {
+		newBy[r.Name] = r
+	}
+	ok := true
+	for _, o := range old {
+		n, found := newBy[o.Name]
+		delete(newBy, o.Name)
+		if !found {
+			fmt.Fprintf(w, "FAIL %s: in baseline but missing from new document\n", o.Name)
+			ok = false
+			continue
+		}
+		pct := 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		switch {
+		case pct > tol:
+			fmt.Fprintf(w, "FAIL %s: ns/op %.1f -> %.1f (%+.1f%%, tolerance %.1f%%)\n",
+				o.Name, o.NsPerOp, n.NsPerOp, pct, tol)
+			ok = false
+		default:
+			fmt.Fprintf(w, "ok   %s: ns/op %.1f -> %.1f (%+.1f%%)\n",
+				o.Name, o.NsPerOp, n.NsPerOp, pct)
+		}
+		switch {
+		case n.AllocsPerOp > o.AllocsPerOp:
+			fmt.Fprintf(w, "FAIL %s: allocs/op %d -> %d (allocation regression)\n",
+				o.Name, o.AllocsPerOp, n.AllocsPerOp)
+			ok = false
+		case n.AllocsPerOp < o.AllocsPerOp:
+			fmt.Fprintf(w, "note %s: allocs/op improved %d -> %d (re-baseline to lock in)\n",
+				o.Name, o.AllocsPerOp, n.AllocsPerOp)
+		}
+	}
+	// Deterministic report order for benchmarks only present in new.
+	extra := make([]string, 0, len(newBy))
+	for name := range newBy {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "note %s: new benchmark, not in baseline\n", name)
+	}
+	return ok
+}
+
+// runCompare is the compare subcommand: benchjson compare [-tol PCT] OLD NEW.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	tol := fs.Float64("tol", 50, "ns/op regression tolerance in percent")
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-tol PCT] OLD.json NEW.json")
+		return 2
+	}
+	if math.IsNaN(*tol) || math.IsInf(*tol, 0) || *tol < 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: unusable tolerance %v\n", *tol)
+		return 2
+	}
+	old, err := loadResults(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	new, err := loadResults(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	if !compare(old, new, *tol, os.Stdout) {
+		fmt.Fprintln(os.Stdout, "bench gate: FAIL")
+		return 1
+	}
+	fmt.Fprintln(os.Stdout, "bench gate: ok")
+	return 0
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	results, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -89,5 +91,170 @@ func TestParseBenchRejectsMalformedLines(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 0},
+	}
+	cases := []struct {
+		name   string
+		new    []result
+		tol    float64
+		wantOK bool
+		wantIn string // substring that must appear in the report
+	}{
+		{
+			name: "identical passes",
+			new: []result{
+				{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+				{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 0},
+			},
+			tol: 50, wantOK: true, wantIn: "ok   BenchmarkA",
+		},
+		{
+			name: "within tolerance passes",
+			new: []result{
+				{Name: "BenchmarkA", NsPerOp: 1400, AllocsPerOp: 10},
+				{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 0},
+			},
+			tol: 50, wantOK: true, wantIn: "+40.0%",
+		},
+		{
+			name: "beyond tolerance fails",
+			new: []result{
+				{Name: "BenchmarkA", NsPerOp: 1600, AllocsPerOp: 10},
+				{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 0},
+			},
+			tol: 50, wantOK: false, wantIn: "FAIL BenchmarkA: ns/op",
+		},
+		{
+			name: "any allocs increase fails even with fast ns/op",
+			new: []result{
+				{Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 11},
+				{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 0},
+			},
+			tol: 50, wantOK: false, wantIn: "allocation regression",
+		},
+		{
+			name: "zero to one alloc fails",
+			new: []result{
+				{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+				{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 1},
+			},
+			tol: 50, wantOK: false, wantIn: "FAIL BenchmarkB: allocs/op 0 -> 1",
+		},
+		{
+			name: "allocs improvement passes with a note",
+			new: []result{
+				{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 4},
+				{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 0},
+			},
+			tol: 50, wantOK: true, wantIn: "allocs/op improved 10 -> 4",
+		},
+		{
+			name: "missing benchmark fails",
+			new: []result{
+				{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+			},
+			tol: 50, wantOK: false, wantIn: "missing from new document",
+		},
+		{
+			name: "new benchmark passes with a note",
+			new: []result{
+				{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+				{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 0},
+				{Name: "BenchmarkC", NsPerOp: 7, AllocsPerOp: 0},
+			},
+			tol: 50, wantOK: true, wantIn: "note BenchmarkC: new benchmark",
+		},
+		{
+			name: "zero tolerance fails any slowdown",
+			new: []result{
+				{Name: "BenchmarkA", NsPerOp: 1001, AllocsPerOp: 10},
+				{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 0},
+			},
+			tol: 0, wantOK: false, wantIn: "tolerance 0.0%",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			ok := compare(base, tc.new, tc.tol, &buf)
+			if ok != tc.wantOK {
+				t.Errorf("compare ok = %v, want %v; report:\n%s", ok, tc.wantOK, buf.String())
+			}
+			if !strings.Contains(buf.String(), tc.wantIn) {
+				t.Errorf("report missing %q:\n%s", tc.wantIn, buf.String())
+			}
+		})
+	}
+}
+
+func TestLoadResultsRejectsUnusable(t *testing.T) {
+	// encoding/json cannot emit NaN/Inf, so guard cases are raw documents —
+	// exactly what a hand-edited or corrupted baseline would look like.
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"not json", `Benchmark 1 100 ns/op`, "invalid character"},
+		{"empty name", `[{"name": "", "ns_per_op": 1, "allocs_per_op": 0}]`, "empty benchmark name"},
+		{"duplicate", `[{"name": "BenchmarkA", "ns_per_op": 1, "allocs_per_op": 0},
+			{"name": "BenchmarkA", "ns_per_op": 2, "allocs_per_op": 0}]`, "duplicate"},
+		{"zero ns/op", `[{"name": "BenchmarkA", "ns_per_op": 0, "allocs_per_op": 0}]`, "unusable ns/op"},
+		{"negative ns/op", `[{"name": "BenchmarkA", "ns_per_op": -5, "allocs_per_op": 0}]`, "unusable ns/op"},
+		{"NaN ns/op", `[{"name": "BenchmarkA", "ns_per_op": NaN, "allocs_per_op": 0}]`, "invalid character"},
+		{"negative allocs", `[{"name": "BenchmarkA", "ns_per_op": 1, "allocs_per_op": -1}]`, "negative allocs/op"},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, "doc.json")
+			if err := os.WriteFile(path, []byte(tc.doc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := loadResults(path)
+			if err == nil {
+				t.Fatalf("loadResults accepted %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := loadResults(filepath.Join(dir, "does-not-exist.json")); err == nil {
+		t.Error("loadResults accepted a missing file")
+	}
+}
+
+func TestLoadResultsRoundTripsParseBench(t *testing.T) {
+	// What benchjson writes, compare must read back unchanged.
+	parsed, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	doc := `[
+  {"name": "BenchmarkL1Parallel", "ns_per_op": 23456789, "allocs_per_op": 1300},
+  {"name": "BenchmarkL1Sequential", "ns_per_op": 123456789, "allocs_per_op": 1200},
+  {"name": "BenchmarkStreamL2Advance", "ns_per_op": 250.0, "allocs_per_op": 3}
+]`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, parsed) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", loaded, parsed)
+	}
+	var buf strings.Builder
+	if !compare(parsed, loaded, 0, &buf) {
+		t.Errorf("identical documents failed the gate:\n%s", buf.String())
 	}
 }

@@ -200,6 +200,10 @@ func followStream(o options, stdout, stderr io.Writer) error {
 		WindowBuckets: o.windowN,
 		Workers:       o.workers,
 		Metrics:       o.metrics,
+		// The built-in follow miners copy what they retain and the
+		// checkpoint serializes window buckets before they retire, so the
+		// ingester may reuse retired bucket slices.
+		RecycleBuckets: true,
 	}
 	miner, err := buildFollowMiner(o, wcfg)
 	if err != nil {

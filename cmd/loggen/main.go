@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -67,14 +68,20 @@ func run(seed int64, scale float64, days int, out string, gz bool) error {
 		return err
 	}
 
-	// Reference models.
+	// Reference models. The truth files run to thousands of lines; buffer
+	// the writers so each line is not its own write syscall.
 	pf, err := os.Create(filepath.Join(out, "truth-pairs.txt"))
 	if err != nil {
 		return err
 	}
+	pw := bufio.NewWriter(pf)
 	pairs := topo.TrueAppPairs()
 	for _, p := range pairSetSorted(pairs) {
-		fmt.Fprintf(pf, "%s\t%s\n", p.A, p.B)
+		fmt.Fprintf(pw, "%s\t%s\n", p.A, p.B)
+	}
+	if err := pw.Flush(); err != nil {
+		pf.Close()
+		return err
 	}
 	if err := pf.Close(); err != nil {
 		return err
@@ -83,9 +90,14 @@ func run(seed int64, scale float64, days int, out string, gz bool) error {
 	if err != nil {
 		return err
 	}
+	tw := bufio.NewWriter(tf)
 	deps := topo.TrueAppServicePairs()
 	for _, d := range depSetSorted(deps) {
-		fmt.Fprintf(tf, "%s\t%s\n", d.App, d.Group)
+		fmt.Fprintf(tw, "%s\t%s\n", d.App, d.Group)
+	}
+	if err := tw.Flush(); err != nil {
+		tf.Close()
+		return err
 	}
 	if err := tf.Close(); err != nil {
 		return err

@@ -229,6 +229,69 @@ func TestChaosEquivalenceMem(t *testing.T) {
 	}
 }
 
+// TestChaosBatchedIngestEquivalence plays a fault schedule through the bulk
+// ReadBatch → AddBatch path that batch loaders use and pins it against the
+// per-line Feeder reference: identical miner snapshots, identical ingest
+// accounting, at Workers 1 and 8. The schedule uses every line-preserving
+// fault (duplication, reordering, skew, rotation, stalls) — line-tearing
+// faults are the Feeder's domain, since logmodel.Reader treats a malformed
+// line as a stream error rather than a quarantinable reject. The batched
+// ingester also runs with RecycleBuckets on, so bucket-slice recycling is
+// pinned to have no observable effect on the mined model.
+func TestChaosBatchedIngestEquivalence(t *testing.T) {
+	lines := corpusLines(120)
+	sc := Inject(lines, Schedule{Seed: 41, DuplicatePerMille: 200, ReorderWindow: 4,
+		SkewMaxMillis: 1200, RotateEveryLines: 9, StallPerMille: 150})
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			ref := runScript(t, sc, workers)
+			if ref.stats.Late == 0 {
+				t.Error("skew produced no late entries; verdict equivalence is vacuous")
+			}
+
+			wcfg := stream.Config{BucketWidth: 1000, WindowBuckets: 4, Workers: workers,
+				RecycleBuckets: true}
+			miners := chaosMiners(wcfg)
+			in := stream.NewIngester(wcfg, miners...)
+			lr := logmodel.NewReader(hardenedSource(NewReader(sc), sc))
+			var batch [32]logmodel.Entry
+			for {
+				n, err := lr.ReadBatch(batch[:])
+				in.AddBatch(batch[:n])
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("batched read: %v", err)
+				}
+			}
+			in.Flush()
+
+			if s := in.Stats(); s != ref.stats {
+				t.Errorf("batched ingest stats = %+v, feeder reference %+v", s, ref.stats)
+			}
+			got := chaosRun{stats: in.Stats()}
+			win, tr := in.WindowStore(), in.WindowRange()
+			for _, m := range miners {
+				var sb, bb bytes.Buffer
+				if err := core.WriteModel(&sb, m.Snapshot()); err != nil {
+					t.Fatal(err)
+				}
+				if err := core.WriteModel(&bb, m.Batch(win, tr)); err != nil {
+					t.Fatal(err)
+				}
+				got.snaps = append(got.snaps, sb.Bytes())
+				got.batch = append(got.batch, bb.Bytes())
+			}
+			checkRun(t, "batched", got)
+			if !reflect.DeepEqual(got.snaps, ref.snaps) {
+				t.Errorf("batched snapshots diverge from feeder reference\nbatched: %s\nfeeder:  %s",
+					bytes.Join(got.snaps, []byte("|")), bytes.Join(ref.snaps, []byte("|")))
+			}
+		})
+	}
+}
+
 // TestChaosEquivalenceTailerFS plays a rotating fault script through a real
 // file followed by a Tailer and pins two things: the tailer survives the
 // rotations, and the result is byte-identical to the in-memory transport of

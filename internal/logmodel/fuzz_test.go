@@ -73,3 +73,63 @@ func FuzzParseEntry(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseBytes is the differential target pinning the allocation-free
+// parser to the string parser: on every input both either produce the same
+// Entry or both fail (with the same message), intern mode never modifies the
+// input line, and every parsed entry survives an AppendEntry round trip.
+func FuzzParseBytes(f *testing.F) {
+	f.Add("2005-12-06T08:00:00.000Z\tDPIFormidoc\thost1\tu17\tINFO\thello")
+	f.Add("2005-12-06T08:00:00.000Z\tA\tB\tC\tERROR\t")
+	f.Add("x\ty\tz\tw\tINFO\tbad time")
+	f.Add("2005-12-06T08:00:00.000+05:30\tS\th\tu\tWARN\toffset form")
+	f.Add("2005-12-06T08:00:00,000Z\tS\th\tu\tINFO\tcomma fraction")
+	f.Add("9999-12-31T23:59:59.999Z\tS\th\tu\tDEBUG\tmax formatted year")
+	f.Add("2005-12-06T08:00:00.000Z\tS\th\tu\tINFO\tesc \\t\\n\\r\\\\ bad \\q end \\")
+	f.Add("2005-12-06T08:00:00.000Z\t\xff\x00\t\xfe\t\x01\tINFO\tnon-utf8 \xff fields")
+	f.Add("2005-12-06T08:00:00.000Z\tS\th\tu\tNOTICE\tunknown severity")
+	f.Add("2005-12-06T08:00:00.000Z\t\th\tu\tINFO\tempty source")
+	sharedIntern := NewIntern()
+	f.Fuzz(func(t *testing.T, line string) {
+		want, wantErr := ParseEntry(line)
+
+		raw := []byte(line)
+		got, gotErr := ParseEntryBytes(raw, sharedIntern)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("parser disagreement on %q:\n ParseEntry:      %v\n ParseEntryBytes: %v",
+				line, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("error text differs on %q:\n ParseEntry:      %v\n ParseEntryBytes: %v",
+					line, wantErr, gotErr)
+			}
+			return
+		}
+		if got != want {
+			t.Fatalf("intern-mode entry differs on %q:\n want %+v\n got  %+v", line, want, got)
+		}
+		if string(raw) != line {
+			t.Fatalf("intern mode modified its input: %q -> %q", line, raw)
+		}
+
+		view, viewErr := ParseEntryBytes([]byte(line), nil)
+		if viewErr != nil {
+			t.Fatalf("view mode rejected %q accepted by intern mode: %v", line, viewErr)
+		}
+		if view != want {
+			t.Fatalf("view-mode entry differs on %q:\n want %+v\n got  %+v", line, want, view)
+		}
+
+		// Round trip: the wire form of a parsed entry reparses to the same
+		// entry, through the byte-slice writer and parser.
+		wire := AppendEntry(nil, got)
+		again, err := ParseEntryBytes(wire, nil)
+		if err != nil {
+			t.Fatalf("AppendEntry output does not reparse: %v\nwire: %q", err, wire)
+		}
+		if again != got {
+			t.Fatalf("AppendEntry round trip changed entry:\n was %+v\n now %+v", got, again)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package logmodel
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -168,11 +169,29 @@ func (s *Store) Append(e Entry) {
 	s.entries = append(s.entries, e)
 }
 
-// AppendAll adds all entries of es.
+// AppendAll adds all entries of es in one bulk append. Order is checked
+// once per batch — the boundary against the current tail plus a single scan
+// of es — instead of per-entry, so an already-unsorted store (or a store
+// made unsorted by the batch) pays no further compares.
 func (s *Store) AppendAll(es []Entry) {
-	for _, e := range es {
-		s.Append(e)
+	if len(es) == 0 {
+		return
 	}
+	if !s.unsorted {
+		prev := es[0].Time
+		if n := len(s.entries); n > 0 && prev < s.entries[n-1].Time {
+			s.unsorted = true
+		} else {
+			for i := 1; i < len(es); i++ {
+				if es[i].Time < prev {
+					s.unsorted = true
+					break
+				}
+				prev = es[i].Time
+			}
+		}
+	}
+	s.entries = append(s.entries, es...)
 }
 
 // Len returns the number of entries.
@@ -184,8 +203,14 @@ func (s *Store) Sort() {
 	if !s.unsorted {
 		return
 	}
-	sort.SliceStable(s.entries, func(i, j int) bool {
-		return s.entries[i].Time < s.entries[j].Time
+	slices.SortStableFunc(s.entries, func(a, b Entry) int {
+		switch {
+		case a.Time < b.Time:
+			return -1
+		case a.Time > b.Time:
+			return 1
+		}
+		return 0
 	})
 	s.unsorted = false
 }

@@ -100,6 +100,53 @@ func TestStoreAppendSort(t *testing.T) {
 	}
 }
 
+func TestStoreAppendAll(t *testing.T) {
+	// In-order batches (internally sorted, each starting at or after the
+	// previous tail) must keep the store sorted.
+	s := NewStore(0)
+	s.AppendAll([]Entry{mkEntry(10, "A"), mkEntry(20, "B")})
+	s.AppendAll(nil)
+	s.AppendAll([]Entry{mkEntry(20, "C"), mkEntry(30, "D")})
+	if !s.Sorted() {
+		t.Error("in-order batches should stay sorted")
+	}
+	if s.Len() != 4 || s.At(2).Source != "C" {
+		t.Errorf("bulk append order wrong: len=%d entries=%+v", s.Len(), s.Entries())
+	}
+
+	// A batch starting before the store's tail must mark it unsorted.
+	s.AppendAll([]Entry{mkEntry(5, "E")})
+	if s.Sorted() {
+		t.Error("batch starting before the tail should mark the store unsorted")
+	}
+
+	// Internal disorder inside one batch must mark it unsorted too.
+	s2 := NewStore(0)
+	s2.AppendAll([]Entry{mkEntry(10, "A"), mkEntry(5, "B"), mkEntry(20, "C")})
+	if s2.Sorted() {
+		t.Error("internally unsorted batch should mark the store unsorted")
+	}
+	s2.Sort()
+	if s2.At(0).Source != "B" || s2.Len() != 3 {
+		t.Errorf("Sort after bulk append: %+v", s2.Entries())
+	}
+
+	// Equivalence with per-entry Append on a random interleaving.
+	es := []Entry{mkEntry(3, "x"), mkEntry(1, "y"), mkEntry(2, "z"), mkEntry(1, "w")}
+	bulk, single := NewStore(0), NewStore(0)
+	bulk.AppendAll(es)
+	for _, e := range es {
+		single.Append(e)
+	}
+	bulk.Sort()
+	single.Sort()
+	for i := 0; i < single.Len(); i++ {
+		if bulk.At(i) != single.At(i) {
+			t.Fatalf("entry %d: bulk %+v vs single %+v", i, bulk.At(i), single.At(i))
+		}
+	}
+}
+
 func TestStoreSortStable(t *testing.T) {
 	s := NewStore(0)
 	s.Append(mkEntry(10, "first"))

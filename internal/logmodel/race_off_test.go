@@ -1,0 +1,6 @@
+//go:build !race
+
+package logmodel
+
+// raceEnabled gates allocation-budget tests; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package logmodel
+
+// raceEnabled gates allocation-budget tests: the race runtime's
+// instrumentation allocates, making testing.AllocsPerRun counts meaningless.
+const raceEnabled = true

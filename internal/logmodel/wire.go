@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strings"
-	"time"
 )
 
 // The wire format is one entry per line, tab-separated:
@@ -15,6 +13,10 @@ import (
 // Tabs, newlines and backslashes inside the message are backslash-escaped.
 // The format is intentionally trivial: the paper's point is that the miners
 // need almost no structure, so the substrate should not either.
+//
+// The hot-path implementations — ParseEntryBytes, AppendEntry and the
+// intern table — live in wirebytes.go; this file keeps the string-based
+// API and the stream Reader/Writer on top of them.
 
 // TimeLayout is RFC3339 with millisecond precision, the timestamp format of
 // the wire format. Exported so tooling that rewrites wire lines in place
@@ -27,41 +29,22 @@ const timeLayout = TimeLayout
 // FormatEntry renders an entry as one wire-format line (without trailing
 // newline).
 func FormatEntry(e Entry) string {
-	return fmt.Sprintf("%s\t%s\t%s\t%s\t%s\t%s",
-		e.Time.Time().Format(timeLayout),
-		e.Source, e.Host, e.User, e.Severity, escapeMessage(e.Message))
+	return string(AppendEntry(make([]byte, 0, 64+len(e.Source)+len(e.Host)+len(e.User)+len(e.Message)), e))
 }
 
 // ParseEntry parses one wire-format line.
 func ParseEntry(line string) (Entry, error) {
-	parts := strings.SplitN(line, "\t", 6)
-	if len(parts) != 6 {
-		return Entry{}, fmt.Errorf("logmodel: malformed line: %d fields, want 6", len(parts))
-	}
-	ts, err := time.Parse(timeLayout, parts[0])
-	if err != nil {
-		return Entry{}, fmt.Errorf("logmodel: bad timestamp %q: %w", parts[0], err)
-	}
-	sev, err := ParseSeverity(parts[4])
-	if err != nil {
-		return Entry{}, err
-	}
-	if parts[1] == "" {
-		return Entry{}, fmt.Errorf("logmodel: empty source field")
-	}
-	return Entry{
-		Time:     FromTime(ts),
-		Source:   parts[1],
-		Host:     parts[2],
-		User:     parts[3],
-		Severity: sev,
-		Message:  unescapeMessage(parts[5]),
-	}, nil
+	// View-mode parse over a private copy of the line: the returned fields
+	// alias the copy, which nothing else references, so the Entry is as
+	// durable as with the old per-field copies — at one allocation instead
+	// of several. Bulk callers should use ParseEntryBytes with an Intern.
+	return ParseEntryBytes([]byte(line), nil)
 }
 
 // Writer streams entries to an io.Writer in wire format.
 type Writer struct {
 	bw    *bufio.Writer
+	buf   []byte
 	count int
 }
 
@@ -72,10 +55,9 @@ func NewWriter(w io.Writer) *Writer {
 
 // Write appends one entry.
 func (w *Writer) Write(e Entry) error {
-	if _, err := w.bw.WriteString(FormatEntry(e)); err != nil {
-		return err
-	}
-	if err := w.bw.WriteByte('\n'); err != nil {
+	w.buf = AppendEntry(w.buf[:0], e)
+	w.buf = append(w.buf, '\n')
+	if _, err := w.bw.Write(w.buf); err != nil {
 		return err
 	}
 	w.count++
@@ -100,53 +82,112 @@ func WriteAll(w io.Writer, s *Store) error {
 	return lw.Flush()
 }
 
-// Reader streams entries from an io.Reader in wire format.
+// maxLineBytes caps one wire-format line, matching the scanner limit the
+// Reader historically used (and stream.MaxLineBytes on the hardened path).
+const maxLineBytes = 1 << 22
+
+// Reader streams entries from an io.Reader in wire format. Entries share an
+// intern table: repeated Source/Host/User values are allocated once per
+// distinct value and messages are copied out of the read buffer, so every
+// returned Entry is durable.
 type Reader struct {
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	line int
+	// long accumulates a line that outgrew the bufio buffer.
+	long []byte
+	it   *Intern
 }
 
 // NewReader returns a Reader on r.
 func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	return &Reader{sc: sc}
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16), it: NewIntern()}
+}
+
+// readLine returns the next physical line — without its newline, and
+// without a final carriage return — or io.EOF after the last line. The
+// returned slice is only valid until the next call.
+func (r *Reader) readLine() ([]byte, error) {
+	r.long = r.long[:0]
+	for {
+		chunk, err := r.br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			if len(r.long)+len(chunk) > maxLineBytes {
+				return nil, bufio.ErrTooLong
+			}
+			r.long = append(r.long, chunk...)
+			continue
+		}
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		line := chunk
+		if len(r.long) > 0 {
+			r.long = append(r.long, chunk...)
+			line = r.long
+		}
+		if len(line) == 0 {
+			return nil, io.EOF
+		}
+		if line[len(line)-1] == '\n' {
+			line = line[:len(line)-1]
+		}
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		return line, nil
+	}
 }
 
 // Read returns the next entry, or io.EOF at end of input. Blank lines are
 // skipped. Parse errors include the line number.
 func (r *Reader) Read() (Entry, error) {
-	for r.sc.Scan() {
+	for {
+		line, err := r.readLine()
+		if err != nil {
+			return Entry{}, err
+		}
 		r.line++
-		line := r.sc.Text()
-		if line == "" {
+		if len(line) == 0 {
 			continue
 		}
-		e, err := ParseEntry(line)
+		e, err := ParseEntryBytes(line, r.it)
 		if err != nil {
 			return Entry{}, fmt.Errorf("line %d: %w", r.line, err)
 		}
 		return e, nil
 	}
-	if err := r.sc.Err(); err != nil {
-		return Entry{}, err
+}
+
+// ReadBatch fills dst with up to len(dst) entries, returning how many were
+// read. The final batch returns n > 0 together with io.EOF when the input
+// ends mid-batch; a subsequent call returns (0, io.EOF). Batching amortizes
+// per-entry call overhead for bulk loaders (see ReadAll and the stream
+// ingest path).
+func (r *Reader) ReadBatch(dst []Entry) (int, error) {
+	for n := 0; n < len(dst); n++ {
+		e, err := r.Read()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = e
 	}
-	return Entry{}, io.EOF
+	return len(dst), nil
 }
 
 // ReadAll reads all entries from r into a new store and sorts it.
 func ReadAll(r io.Reader) (*Store, error) {
 	s := NewStore(1024)
 	lr := NewReader(r)
+	var batch [512]Entry
 	for {
-		e, err := lr.Read()
+		n, err := lr.ReadBatch(batch[:])
+		s.AppendAll(batch[:n])
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		s.Append(e)
 	}
 	s.Sort()
 	return s, nil

@@ -1,0 +1,72 @@
+package logmodel
+
+import (
+	"testing"
+)
+
+// The wire micro-benchmarks are the allocation half of the CI bench gate:
+// their allocs/op are deterministic (unlike the end-to-end ingest benchmark,
+// whose count breathes with GC timing), so cmd/benchjson compare pins them
+// exactly while ns/op gets a tolerance. Keep their names stable — they are
+// referenced by BENCH_BASELINE.json and .github/workflows/ci.yml.
+
+var benchLines = [][]byte{
+	[]byte("2005-12-06T08:00:00.000Z\tDPIFormidoc\tws-034\tu0117\tINFO\topen form F-207"),
+	[]byte("2005-12-06T08:00:00.250Z\tMEDFolder\tws-034\tu0117\tINFO\tfetch folder 88213"),
+	[]byte("2005-12-06T08:00:01.000Z\tADTCore\tsrv-01\t\tWARN\tqueue depth 17"),
+	[]byte("2005-12-06T08:00:02.750Z\tLabRouter\tws-112\tu0093\tDEBUG\troute specimen \\t tabbed"),
+}
+
+func BenchmarkWireParseBytes(b *testing.B) {
+	it := NewIntern()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseEntryBytes(benchLines[i&3], it); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireParseBytesView(b *testing.B) {
+	// View mode over lines without escapes: the input is not rewritten, so
+	// reusing the same lines across iterations is sound.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseEntryBytes(benchLines[i&1], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireAppendEntry(b *testing.B) {
+	it := NewIntern()
+	var es [4]Entry
+	for i, l := range benchLines {
+		e, err := ParseEntryBytes(l, it)
+		if err != nil {
+			b.Fatal(err)
+		}
+		es[i] = e
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEntry(buf[:0], es[i&3])
+	}
+	_ = buf
+}
+
+func BenchmarkWireParseEntry(b *testing.B) {
+	// The string-based compatibility path, for comparison against the
+	// byte-slice fast path in bench diffs.
+	lines := make([]string, len(benchLines))
+	for i, l := range benchLines {
+		lines[i] = string(l)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseEntry(lines[i&3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

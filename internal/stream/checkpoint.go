@@ -73,13 +73,19 @@ func (in *Ingester) Checkpoint(offset, rotations int64) *Checkpoint {
 	if !in.started {
 		c.Cur = -1 // sentinel: no origin fixed yet
 	}
-	for _, e := range in.pending {
-		c.Pending = append(c.Pending, []byte(logmodel.FormatEntry(e)))
+	if n := len(in.pending); n > 0 {
+		c.Pending = make([][]byte, 0, n)
+		for _, e := range in.pending {
+			c.Pending = append(c.Pending, logmodel.AppendEntry(nil, e))
+		}
 	}
 	for _, b := range in.win {
 		cb := CheckpointBucket{Index: b.Index}
+		if n := len(b.Entries); n > 0 {
+			cb.Entries = make([][]byte, 0, n)
+		}
 		for _, e := range b.Entries {
-			cb.Entries = append(cb.Entries, []byte(logmodel.FormatEntry(e)))
+			cb.Entries = append(cb.Entries, logmodel.AppendEntry(nil, e))
 		}
 		c.Buckets = append(c.Buckets, cb)
 	}
@@ -112,8 +118,11 @@ func (c *Checkpoint) Restore(cfg Config, miners ...Miner) (*Ingester, error) {
 	in.cur = c.Cur
 	in.open = c.Open
 
+	// One intern table across the whole restore: the replayed window and the
+	// pending bucket share Source/Host/User values just like live ingest.
+	it := logmodel.NewIntern()
 	var err error
-	in.pending, err = parseLines(c.Pending)
+	in.pending, err = parseLines(c.Pending, it)
 	if err != nil {
 		return nil, fmt.Errorf("stream: checkpoint pending: %w", err)
 	}
@@ -124,7 +133,7 @@ func (c *Checkpoint) Restore(cfg Config, miners ...Miner) (*Ingester, error) {
 			return nil, fmt.Errorf("stream: checkpoint buckets out of order (%d after %d)", cb.Index, last)
 		}
 		last = cb.Index
-		es, err := parseLines(cb.Entries)
+		es, err := parseLines(cb.Entries, it)
 		if err != nil {
 			return nil, fmt.Errorf("stream: checkpoint bucket %d: %w", cb.Index, err)
 		}
@@ -145,14 +154,16 @@ func (c *Checkpoint) Restore(cfg Config, miners ...Miner) (*Ingester, error) {
 	return in, nil
 }
 
-// parseLines decodes wire-format lines back into entries.
-func parseLines(lines [][]byte) ([]logmodel.Entry, error) {
+// parseLines decodes wire-format lines back into entries, interning through
+// it (the JSON-decoded line buffers are left unmodified and free to be
+// collected).
+func parseLines(lines [][]byte, it *logmodel.Intern) ([]logmodel.Entry, error) {
 	if len(lines) == 0 {
 		return nil, nil
 	}
 	es := make([]logmodel.Entry, 0, len(lines))
 	for _, l := range lines {
-		e, err := logmodel.ParseEntry(string(l))
+		e, err := logmodel.ParseEntryBytes(l, it)
 		if err != nil {
 			return nil, err
 		}

@@ -208,9 +208,20 @@ type Feeder struct {
 	cfg      FeederConfig
 	stats    FeedStats
 	consumed int64
-	classes  map[string]*obs.Counter
-	qErrors  *obs.Counter
-	qDead    bool
+	// it is the feeder's intern table: ParseEntryBytes in intern mode never
+	// touches the input line (the quarantine sink must receive it verbatim)
+	// and yields durable entries with repeated Source/Host/User values
+	// allocated once per distinct value.
+	it      *logmodel.Intern
+	classes map[string]*obs.Counter
+	qErrors *obs.Counter
+	qDead   bool
+	// Pending deltas for the ingester's verdict counters: line() feeds the
+	// ingester through the internal add (no per-entry atomic updates) and
+	// flushCounters folds the deltas in at the end of every drained read
+	// chunk — totals match the per-entry Add path exactly, the counters
+	// just advance in chunk-sized steps.
+	accepted, late, corrupt int64
 }
 
 // NewFeeder returns a feeder delivering into in.
@@ -218,6 +229,7 @@ func NewFeeder(in *Ingester, cfg FeederConfig) *Feeder {
 	return &Feeder{
 		in:  in,
 		cfg: cfg,
+		it:  logmodel.NewIntern(),
 		classes: obs.Classes(cfg.Metrics, "ingest.lines_",
 			"malformed", "oversized", "quarantined"),
 		qErrors: cfg.Metrics.Counter("ingest.quarantine_errors"),
@@ -240,14 +252,24 @@ func (f *Feeder) Consumed() int64 { return f.consumed }
 // RetryReader below gave up, if one is installed) is returned as-is with
 // everything before it already processed.
 func (f *Feeder) Run(r io.Reader) error {
-	var buf []byte
-	chunk := make([]byte, 32<<10)
+	// Read directly into the line buffer's tail: every stream byte is
+	// copied once (transport → buf), not twice through a staging chunk.
+	// drain compacts the unprocessed remainder to the front, and the
+	// oversized-line discard bounds the remainder, so the buffer only grows
+	// while a single line longer than its capacity is pending.
+	buf := make([]byte, 0, 64<<10)
 	skipping := false // inside an oversized line, discarding to newline
 	for {
-		n, err := r.Read(chunk)
+		if len(buf) == cap(buf) {
+			nb := make([]byte, len(buf), 2*cap(buf))
+			copy(nb, buf)
+			buf = nb
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
 		if n > 0 {
-			buf = append(buf, chunk[:n]...)
+			buf = buf[:len(buf)+n]
 			buf = f.drain(buf, &skipping)
+			f.flushCounters()
 		}
 		if err == io.EOF {
 			// A final unterminated line is still a line: either the stream
@@ -262,6 +284,7 @@ func (f *Feeder) Run(r io.Reader) error {
 				f.reject(nil, "oversized")
 				f.stats.Oversized++
 			}
+			f.flushCounters()
 			return nil
 		}
 		if err != nil {
@@ -324,19 +347,40 @@ func (f *Feeder) line(line []byte) {
 		f.reject(nil, "oversized")
 		return
 	}
-	e, err := logmodel.ParseEntry(string(line))
-	if err != nil {
+	var e logmodel.Entry
+	if err := logmodel.ParseEntryBytesInto(&e, line, f.it); err != nil {
 		f.stats.Malformed++
 		f.reject(line, "malformed")
 		return
 	}
-	switch f.in.Add(e) {
+	switch f.in.add(&e) {
+	case VerdictAccepted:
+		f.accepted++
 	case VerdictLate:
+		f.late++
 		f.stats.Late++
 		f.reject(line, "late")
 	case VerdictCorrupt:
+		f.corrupt++
 		f.stats.Corrupt++
 		f.reject(line, "corrupt")
+	}
+}
+
+// flushCounters folds the accumulated verdict deltas into the ingester's
+// metric counters.
+func (f *Feeder) flushCounters() {
+	if f.accepted != 0 {
+		f.in.mAccepted.Add(f.accepted)
+		f.accepted = 0
+	}
+	if f.late != 0 {
+		f.in.mLate.Add(f.late)
+		f.late = 0
+	}
+	if f.corrupt != 0 {
+		f.in.mCorrupt.Add(f.corrupt)
+		f.corrupt = 0
 	}
 }
 

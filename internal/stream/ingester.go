@@ -1,7 +1,7 @@
 package stream
 
 import (
-	"sort"
+	"slices"
 
 	"logscape/internal/logmodel"
 	"logscape/internal/obs"
@@ -37,6 +37,12 @@ type IngestStats struct {
 // the open bucket closes it — empty buckets in between are skipped, not
 // delivered (the miners retire by index gap), so a long quiet period costs
 // O(1), not O(gap).
+// freeSlices caps the recycled-slice pool (RecycleBuckets): large enough to
+// hold one diurnal cycle's spread of bucket sizes for best-fit reuse, small
+// enough that the idle pool after a sparse stretch stays negligible next to
+// the window itself.
+const freeSlices = 6
+
 type Ingester struct {
 	cfg    Config
 	miners []Miner
@@ -50,6 +56,18 @@ type Ingester struct {
 	cur     int64           // index of the open bucket
 	open    bool            // an open bucket exists (false after Flush)
 	pending []logmodel.Entry
+	// pendHint predicts the next bucket's size — the capacity hint for its
+	// entry slice, so a steady stream pays at most one allocation per bucket
+	// instead of a growth series. While the window fills it is the size of
+	// the last sealed bucket; once the window is full it is the size of the
+	// next bucket's same-slot twin one window ago, which tracks periodic
+	// (e.g. diurnal) load curves through both ramps. Sealed bucket slices
+	// themselves are only recycled under Config.RecycleBuckets, and only
+	// once they retire from the window: ownership transfers to the miners
+	// and OnAdvance, which may retain them (see DESIGN.md §12).
+	pendHint int
+	// free holds retired bucket slices available for reuse (RecycleBuckets).
+	free [][]logmodel.Entry
 
 	win   []Bucket // delivered buckets still inside the window
 	stats IngestStats
@@ -105,9 +123,27 @@ func (v Verdict) String() string {
 
 // Add consumes one entry and reports its fate.
 func (in *Ingester) Add(e logmodel.Entry) Verdict {
+	v := in.add(&e)
+	switch v {
+	case VerdictAccepted:
+		in.mAccepted.Inc()
+	case VerdictLate:
+		in.mLate.Inc()
+	case VerdictCorrupt:
+		in.mCorrupt.Inc()
+	}
+	return v
+}
+
+// add is Add minus the metric-counter updates: the shared core that lets
+// AddBatch coalesce the per-entry atomic increments into one Add per
+// verdict class. IngestStats are updated here; only counters are deferred.
+// The pointer parameter avoids re-copying the 80-byte Entry at every hop of
+// the Feeder → Add → add → admit chain; *e is copied exactly once, by the
+// append into the open bucket.
+func (in *Ingester) add(e *logmodel.Entry) Verdict {
 	if e.Time <= -MaxAbsTime || e.Time >= MaxAbsTime {
 		in.stats.Corrupt++
-		in.mCorrupt.Inc()
 		return VerdictCorrupt
 	}
 	if !in.started {
@@ -123,7 +159,6 @@ func (in *Ingester) Add(e logmodel.Entry) Verdict {
 	switch {
 	case idx < in.cur, idx == in.cur && !in.open:
 		in.stats.Late++
-		in.mLate.Inc()
 		return VerdictLate
 	case idx > in.cur:
 		// Seal the closing bucket, admit the advancing entry into the new
@@ -133,23 +168,94 @@ func (in *Ingester) Add(e logmodel.Entry) Verdict {
 		sealed := in.seal()
 		in.cur = idx
 		in.open = true
-		in.pending = append(in.pending, e)
-		in.stats.Accepted++
-		in.mAccepted.Inc()
+		in.admit(e)
 		in.deliver(sealed)
 		return VerdictAccepted
 	}
-	in.pending = append(in.pending, e)
-	in.stats.Accepted++
-	in.mAccepted.Inc()
+	in.admit(e)
 	return VerdictAccepted
+}
+
+// admit places an accepted entry into the open bucket, sizing a fresh
+// bucket's slice from the previous bucket's population.
+func (in *Ingester) admit(e *logmodel.Entry) {
+	if in.pending == nil {
+		// Best-fit from the recycled pool: the smallest slice that can hold a
+		// bucket of the hinted size. An undersized slice is never used — a
+		// mid-bucket growth realloc costs an allocation plus a copy plus
+		// clearing twice the capacity, so allocating fresh at the right size
+		// is strictly cheaper. If nothing fits, the smallest pooled slice is
+		// evicted so larger retiring buckets can enter the pool.
+		best := -1
+		for i := range in.free {
+			if c := cap(in.free[i]); c >= in.pendHint &&
+				(best < 0 || c < cap(in.free[best])) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			last := len(in.free) - 1
+			in.pending = in.free[best]
+			in.free[best] = in.free[last]
+			in.free[last] = nil
+			in.free = in.free[:last]
+		} else {
+			if len(in.free) == freeSlices {
+				sm := 0
+				for i := range in.free {
+					if cap(in.free[i]) < cap(in.free[sm]) {
+						sm = i
+					}
+				}
+				last := len(in.free) - 1
+				in.free[sm] = in.free[last]
+				in.free[last] = nil
+				in.free = in.free[:last]
+			}
+			if in.pendHint > 0 {
+				in.pending = make([]logmodel.Entry, 0, in.pendHint+in.pendHint/8)
+			}
+		}
+	}
+	in.pending = append(in.pending, *e)
+	in.stats.Accepted++
 }
 
 // AddAll consumes all entries of es.
 func (in *Ingester) AddAll(es []logmodel.Entry) {
-	for _, e := range es {
-		in.Add(e)
+	in.AddBatch(es)
+}
+
+// AddBatch consumes all entries of es and returns how many were accepted.
+// Bucket assignment, delivery order, statistics and final counter values
+// are identical to calling Add once per entry; the difference is purely
+// mechanical — the common case (the entry lands in the open bucket) takes
+// an inlined fast path, and the per-entry atomic metric increments are
+// coalesced into one Add per verdict class.
+func (in *Ingester) AddBatch(es []logmodel.Entry) int {
+	var accepted, late, corrupt int64
+	for i := range es {
+		e := &es[i]
+		if in.open && e.Time >= in.origin &&
+			e.Time > -MaxAbsTime && e.Time < MaxAbsTime &&
+			int64((e.Time-in.origin)/in.cfg.BucketWidth) == in.cur {
+			in.admit(e)
+			accepted++
+			continue
+		}
+		switch in.add(e) {
+		case VerdictAccepted:
+			accepted++
+		case VerdictLate:
+			late++
+		case VerdictCorrupt:
+			corrupt++
+		}
 	}
+	in.mAccepted.Add(accepted)
+	in.mLate.Add(late)
+	in.mCorrupt.Add(corrupt)
+	return int(accepted)
 }
 
 // Flush closes and delivers the open bucket without waiting for an entry
@@ -172,15 +278,29 @@ func (in *Ingester) seal() *Bucket {
 		return nil
 	}
 	in.open = false
-	sort.SliceStable(in.pending, func(i, j int) bool {
-		return in.pending[i].Time < in.pending[j].Time
-	})
+	// A near-in-order stream usually delivers each bucket already sorted;
+	// an O(n) check then skips the O(n log n) stable sort (which, being
+	// stable, would also be a no-op — checking first just makes the common
+	// case cheap). The generic sort moves entries with ordinary typed
+	// copies, unlike sort.SliceStable's reflection-based swaps.
+	if !timeOrdered(in.pending) {
+		slices.SortStableFunc(in.pending, func(a, b logmodel.Entry) int {
+			switch {
+			case a.Time < b.Time:
+				return -1
+			case a.Time > b.Time:
+				return 1
+			}
+			return 0
+		})
+	}
 	start := in.origin + logmodel.Millis(in.cur)*in.cfg.BucketWidth
 	b := Bucket{
 		Index:   in.cur,
 		Range:   logmodel.TimeRange{Start: start, End: start + in.cfg.BucketWidth},
 		Entries: in.pending,
 	}
+	in.pendHint = len(in.pending)
 	in.pending = nil
 	in.stats.Buckets++
 
@@ -190,7 +310,27 @@ func (in *Ingester) seal() *Bucket {
 	for drop < len(in.win) && in.win[drop].Index < lo {
 		drop++
 	}
+	if in.cfg.RecycleBuckets {
+		// Buckets leaving the window surrender their entry slices as
+		// scratch for future buckets. A new bucket consumes one slice, so
+		// a small cap bounds the idle pool after a sparse stretch retires
+		// several buckets at once.
+		for i := 0; i < drop && len(in.free) < freeSlices; i++ {
+			in.free = append(in.free, in.win[i].Entries[:0])
+		}
+	}
 	in.win = in.win[drop:]
+	if len(in.win) == in.cfg.WindowBuckets {
+		// With a full window, the oldest in-window bucket is the next
+		// bucket's same-slot twin one window ago — on periodic streams it
+		// predicts ramp-ups the just-closed bucket cannot. Take the max of
+		// both predictors: with best-fit recycling an over-prediction just
+		// selects a roomier pooled slice, while an under-prediction costs a
+		// mid-bucket growth realloc.
+		if n := len(in.win[0].Entries); n > in.pendHint {
+			in.pendHint = n
+		}
+	}
 
 	in.mBuckets.Inc()
 	in.mWinBuckets.Set(int64(len(in.win)))
@@ -249,6 +389,16 @@ func (in *Ingester) WindowStore() *logmodel.Store {
 		s.AppendAll(in.win[i].Entries)
 	}
 	return s
+}
+
+// timeOrdered reports whether es is non-decreasing in time.
+func timeOrdered(es []logmodel.Entry) bool {
+	for i := 1; i < len(es); i++ {
+		if es[i].Time < es[i-1].Time {
+			return false
+		}
+	}
+	return true
 }
 
 // floorAlign rounds t down to a multiple of width (toward −∞, also for

@@ -34,6 +34,17 @@ type Config struct {
 	// internal/obs). Collection never changes delivered buckets or
 	// snapshots.
 	Metrics *obs.Registry
+	// RecycleBuckets lets the ingester reuse the entry slices of buckets
+	// that retired from the window as scratch for new buckets, removing the
+	// dominant steady-state allocation of the ingest path. Opt-in because
+	// it sharpens the Bucket ownership contract: with recycling on, every
+	// consumer (miners, OnAdvance) must treat Bucket.Entries as invalid
+	// once the bucket leaves the window — retaining the slice would observe
+	// it being overwritten. The built-in stream miners copy what they keep,
+	// so cmd/depmine enables this; leave it off when attaching miners with
+	// unknown retention. Delivered buckets and snapshots are byte-identical
+	// either way.
+	RecycleBuckets bool
 }
 
 // DefaultConfig returns the default window configuration with every field
