@@ -28,13 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"logscape/internal/analysis"
-	"logscape/internal/analysis/load"
+	"logscape/internal/analysis/runner"
 	"logscape/internal/analyzers"
-	"logscape/internal/parallel"
 )
 
 func main() {
@@ -74,95 +72,22 @@ func main() {
 	os.Exit(standalone(args, *configPath, *jsonOut, *tests, *workers))
 }
 
-// standalone is the main mode: load packages, run the suite, print.
+// standalone is the main mode: load packages, run the suite (per-package
+// analyzers in parallel, program-level dataflow analyzers over the whole
+// load), print.
 func standalone(patterns []string, configPath string, jsonOut, tests bool, workers int) int {
-	res, err := load.Load(load.Options{Patterns: patterns, Tests: tests, Workers: workers})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lintscape:", err)
-		return 2
-	}
-	for _, pkg := range res.Packages {
-		for _, e := range pkg.Errors {
-			fmt.Fprintf(os.Stderr, "lintscape: %s: %v\n", pkg.ImportPath, e)
-		}
-		if len(pkg.Errors) > 0 {
-			return 2
-		}
-	}
-
-	cfg, err := severityConfig(configPath, res.ModuleDir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lintscape:", err)
-		return 2
-	}
-
-	suite := analyzers.All()
-	perPkg := parallel.Map(parallel.Workers(workers), len(res.Packages), func(i int) []analysis.Finding {
-		return checkPackage(res.Packages[i], suite, cfg, res.ModuleDir)
+	res, err := runner.Run(analyzers.All(), runner.Options{
+		Patterns:   patterns,
+		Tests:      tests,
+		Workers:    workers,
+		ConfigPath: configPath,
+		Known:      analyzers.Names(),
 	})
-	var findings []analysis.Finding
-	for _, fs := range perPkg {
-		findings = append(findings, fs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintscape:", err)
+		return 2
 	}
-	analysis.SortFindings(findings)
-	return report(findings, jsonOut)
-}
-
-// checkPackage runs every non-off analyzer over one package and returns
-// the surviving findings (severity applied, directives filtered).
-func checkPackage(pkg *load.Package, suite []*analysis.Analyzer, cfg *analysis.SeverityConfig, moduleDir string) []analysis.Finding {
-	var findings []analysis.Finding
-	for _, a := range suite {
-		sev := cfg.Severity(pkg.RelDir, a.Name)
-		if sev == analysis.SeverityOff {
-			continue
-		}
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			Report: func(d analysis.Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				file := pos.Filename
-				if moduleDir != "" {
-					if rel, err := filepath.Rel(moduleDir, file); err == nil {
-						file = filepath.ToSlash(rel)
-					}
-				}
-				findings = append(findings, analysis.Finding{
-					Analyzer: a.Name, Pos: pos,
-					File: file, Line: pos.Line, Col: pos.Column,
-					Message:  d.Message,
-					Severity: sev,
-				})
-			},
-		}
-		if _, err := a.Run(pass); err != nil {
-			findings = append(findings, analysis.Finding{
-				Analyzer: a.Name, File: pkg.RelDir,
-				Message:  fmt.Sprintf("analyzer failed: %v", err),
-				Severity: analysis.SeverityError,
-			})
-		}
-	}
-	return analysis.FilterByDirectives(findings, pkg.Sources)
-}
-
-// severityConfig loads -config, or the module's .lintscape.json when
-// present, or returns nil (everything error-severity).
-func severityConfig(configPath, moduleDir string) (*analysis.SeverityConfig, error) {
-	if configPath != "" {
-		return analysis.LoadSeverityConfig(configPath)
-	}
-	if moduleDir != "" {
-		def := filepath.Join(moduleDir, ".lintscape.json")
-		if _, err := os.Stat(def); err == nil {
-			return analysis.LoadSeverityConfig(def)
-		}
-	}
-	return nil, nil
+	return report(res.Findings, jsonOut)
 }
 
 // report prints the findings and returns the exit code.

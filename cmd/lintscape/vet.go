@@ -103,23 +103,45 @@ func vetUnit(cfgFile string) int {
 	relDir := relToConfigRoot(cfg.Dir)
 
 	var findings []analysis.Finding
+	record := func(a *analysis.Analyzer, sev analysis.Severity) func(analysis.Diagnostic) {
+		return func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			findings = append(findings, analysis.Finding{
+				Analyzer: a.Name, Pos: pos,
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: d.Message, Severity: sev,
+			})
+		}
+	}
+	// One vet unit is one package: program-level analyzers run in a
+	// degraded single-unit mode here — summaries for callees outside the
+	// unit are unknown, so cross-package flows are only caught by the
+	// standalone driver. The vet protocol has no whole-program hook.
+	unit := &analysis.ProgramUnit{Pkg: tpkg, Files: files, Info: info, RelDir: relDir, Sources: sources}
 	for _, a := range analyzers.All() {
 		sev := sevCfg.Severity(relDir, a.Name)
 		if sev == analysis.SeverityOff {
 			continue
 		}
-		pass := &analysis.Pass{
-			Analyzer: a, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info,
-			Report: func(d analysis.Diagnostic) {
-				pos := fset.Position(d.Pos)
-				findings = append(findings, analysis.Finding{
-					Analyzer: a.Name, Pos: pos,
-					File: pos.Filename, Line: pos.Line, Col: pos.Column,
-					Message: d.Message, Severity: sev,
-				})
-			},
+		report := record(a, sev)
+		var err error
+		switch {
+		case a.Run != nil:
+			pass := &analysis.Pass{
+				Analyzer: a, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info,
+				Sources: sources,
+				Report:  report,
+			}
+			_, err = a.Run(pass)
+		case a.RunProgram != nil:
+			pass := &analysis.ProgramPass{
+				Analyzer: a, Fset: fset,
+				Units:  []*analysis.ProgramUnit{unit},
+				Report: func(_ *analysis.ProgramUnit, d analysis.Diagnostic) { report(d) },
+			}
+			err = a.RunProgram(pass)
 		}
-		if _, err := a.Run(pass); err != nil {
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "lintscape: %s: %v\n", a.Name, err)
 			return 2
 		}
@@ -145,7 +167,7 @@ func findSeverityConfig(dir string) *analysis.SeverityConfig {
 	for d := dir; ; {
 		candidate := filepath.Join(d, ".lintscape.json")
 		if _, err := os.Stat(candidate); err == nil {
-			if cfg, err := analysis.LoadSeverityConfig(candidate); err == nil {
+			if cfg, err := analysis.LoadSeverityConfig(candidate, analyzers.Names()); err == nil {
 				configRoot = d
 				return cfg
 			}

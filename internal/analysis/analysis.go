@@ -19,6 +19,12 @@ type Analyzer struct {
 	// Run applies the analyzer to one package. The result value is unused
 	// by the driver (it exists for x/tools API compatibility).
 	Run func(*Pass) (any, error)
+	// RunProgram, when non-nil, marks a program-level analyzer: instead of
+	// Run being called once per package, RunProgram is called once with
+	// every loaded package, so the analyzer can build cross-package call
+	// graphs and function summaries (see internal/analysis/dataflow). An
+	// analyzer sets exactly one of Run and RunProgram.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one analyzed package through an Analyzer's Run function.
@@ -28,8 +34,48 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Sources maps each file name (as recorded in Fset positions) to its
+	// raw content, for analyzers that inspect comments or directives
+	// textually (e.g. allowaudit). May be nil for drivers that do not
+	// retain sources.
+	Sources map[string][]byte
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+}
+
+// ProgramUnit is one package as seen by a program-level analyzer.
+type ProgramUnit struct {
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+	// RelDir is the package directory relative to the module root (the
+	// severity-configuration key). Drivers without a module root use ".".
+	RelDir string
+	// Sources maps file names to raw content, for directive scanning.
+	Sources map[string][]byte
+}
+
+// ProgramPass carries the whole loaded program through an Analyzer's
+// RunProgram function.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Units are the loaded packages, in deterministic (load) order.
+	// Program analyzers must not depend on the order beyond determinism.
+	Units []*ProgramUnit
+	// Report delivers one diagnostic, attributed to the unit it was found
+	// in so the driver can resolve per-directory severity.
+	Report func(*ProgramUnit, Diagnostic)
+	// ExportFact, when non-nil, receives one human-readable fact string
+	// per function-summary fact the analyzer derives (anchored at the
+	// function's declaration). The test harness matches these against
+	// // wantfact expectations; drivers leave it nil.
+	ExportFact func(token.Pos, string)
+}
+
+// Reportf reports a formatted diagnostic at pos, attributed to unit.
+func (p *ProgramPass) Reportf(unit *ProgramUnit, pos token.Pos, format string, args ...any) {
+	p.Report(unit, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // Diagnostic is one finding at a source position.

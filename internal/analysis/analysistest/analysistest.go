@@ -38,6 +38,124 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
+// RunProgram applies a program-level analyzer (Analyzer.RunProgram) to the
+// fixture packages as one program: every listed package, plus every sibling
+// fixture package any of them imports, becomes a ProgramUnit, so
+// interprocedural flows across fixture packages are summarized. Diagnostics
+// are matched against // want expectations; exported summary facts are
+// matched against // wantfact expectations anchored to the line of the
+// function declaration they describe.
+func RunProgram(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	if a.RunProgram == nil {
+		t.Fatalf("%s: analyzer has no RunProgram", a.Name)
+	}
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		testdata: testdata,
+		fset:     fset,
+		gc:       importer.ForCompiler(fset, "gc", load.StdResolver("")),
+		cache:    make(map[string]*fixturePkg),
+	}
+	for _, pkg := range pkgs {
+		fp, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("%s: loading fixture %s: %v", a.Name, pkg, err)
+		}
+		for _, err := range fp.errors {
+			t.Errorf("%s: fixture %s: type error: %v", a.Name, pkg, err)
+		}
+	}
+
+	// Deterministic unit order over everything loaded (including imported
+	// sibling fixtures).
+	paths := make([]string, 0, len(ld.cache))
+	for p := range ld.cache {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var units []*analysis.ProgramUnit
+	allSources := make(map[string][]byte)
+	for _, p := range paths {
+		fp := ld.cache[p]
+		units = append(units, &analysis.ProgramUnit{
+			Pkg: fp.pkg, Files: fp.files, Info: fp.info,
+			RelDir: p, Sources: fp.sources,
+		})
+		for name, src := range fp.sources {
+			allSources[name] = src
+		}
+	}
+
+	var findings []analysis.Finding
+	type factRec struct {
+		file string
+		line int
+		fact string
+	}
+	var facts []factRec
+	pass := &analysis.ProgramPass{
+		Analyzer: a,
+		Fset:     fset,
+		Units:    units,
+		Report: func(u *analysis.ProgramUnit, d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			findings = append(findings, analysis.Finding{
+				Analyzer: a.Name, Pos: pos,
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: d.Message,
+			})
+		},
+		ExportFact: func(pos token.Pos, fact string) {
+			p := fset.Position(pos)
+			facts = append(facts, factRec{p.Filename, p.Line, fact})
+		},
+	}
+	if err := a.RunProgram(pass); err != nil {
+		t.Fatalf("%s: RunProgram: %v", a.Name, err)
+	}
+
+	findings = analysis.FilterByDirectives(findings, allSources)
+	analysis.SortFindings(findings)
+
+	wants := parseWants(t, allSources)
+	for _, f := range findings {
+		if !wants.match(f) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, rel(f.Pos.Filename), f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, rel(w.file), w.line, w.re.String())
+	}
+
+	// Fact expectations: every // wantfact must match some exported fact on
+	// its line. Facts without expectations are not errors (summaries are
+	// voluminous); only missing expected facts are.
+	for _, w := range parseFactWants(t, allSources).wants {
+		found := false
+		for _, f := range facts {
+			if f.file == w.file && f.line == w.line && w.re.MatchString(f.fact) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			var nearby []string
+			for _, f := range facts {
+				if f.file == w.file && f.line == w.line {
+					nearby = append(nearby, f.fact)
+				}
+			}
+			t.Errorf("%s: no exported fact at %s:%d matching %q (facts on line: %v)",
+				a.Name, rel(w.file), w.line, w.re.String(), nearby)
+		}
+	}
+}
+
 func runOne(t *testing.T, ld *fixtureLoader, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
 	fp, err := ld.load(pkgPath)
@@ -55,6 +173,7 @@ func runOne(t *testing.T, ld *fixtureLoader, a *analysis.Analyzer, pkgPath strin
 		Files:     fp.files,
 		Pkg:       fp.pkg,
 		TypesInfo: fp.info,
+		Sources:   fp.sources,
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if _, err := a.Run(pass); err != nil {
@@ -103,9 +222,22 @@ type want struct {
 
 type wantSet struct{ wants []*want }
 
-var wantRe = regexp.MustCompile("//\\s*want\\s+(`([^`]*)`|\"([^\"]*)\")")
+var (
+	wantRe     = regexp.MustCompile("//\\s*want\\s+(`([^`]*)`|\"([^\"]*)\")")
+	wantFactRe = regexp.MustCompile("//\\s*wantfact\\s+(`([^`]*)`|\"([^\"]*)\")")
+)
 
 func parseWants(t *testing.T, sources map[string][]byte) *wantSet {
+	t.Helper()
+	return parseWantsRe(t, sources, wantRe)
+}
+
+func parseFactWants(t *testing.T, sources map[string][]byte) *wantSet {
+	t.Helper()
+	return parseWantsRe(t, sources, wantFactRe)
+}
+
+func parseWantsRe(t *testing.T, sources map[string][]byte, re *regexp.Regexp) *wantSet {
 	t.Helper()
 	ws := &wantSet{}
 	names := make([]string, 0, len(sources))
@@ -115,7 +247,7 @@ func parseWants(t *testing.T, sources map[string][]byte) *wantSet {
 	sort.Strings(names)
 	for _, name := range names {
 		for i, line := range strings.Split(string(sources[name]), "\n") {
-			m := wantRe.FindStringSubmatch(line)
+			m := re.FindStringSubmatch(line)
 			if m == nil {
 				continue
 			}

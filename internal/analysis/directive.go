@@ -49,7 +49,7 @@ func ParseDirectives(filename string, src []byte) []Directive {
 	var out []Directive
 	for i, line := range strings.Split(string(src), "\n") {
 		idx := strings.Index(line, DirectivePrefix)
-		if idx < 0 {
+		if idx < 0 || mentionOnly(line, idx) {
 			continue
 		}
 		rest := line[idx+len(DirectivePrefix):]
@@ -58,6 +58,7 @@ func ParseDirectives(filename string, src []byte) []Directive {
 		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 			continue
 		}
+		rest = trimTrailingComment(rest)
 		fields := strings.Fields(rest)
 		d := Directive{File: filename, Line: i + 1, TargetLine: i + 1}
 		if len(fields) > 0 {
@@ -74,9 +75,59 @@ func ParseDirectives(filename string, src []byte) []Directive {
 	return out
 }
 
+// trimTrailingComment cuts a directive's text at a nested // marker: the
+// directive grammar runs to the end of the line or the next comment (as in
+// fixture files that put // want expectations after a directive).
+func trimTrailingComment(s string) string {
+	if i := strings.Index(s, "//"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// mentionOnly reports whether the marker at byte offset idx is quoted text
+// rather than a live directive: it sits inside a string or rune literal, or
+// inside a comment that began earlier on the line (prose quoting the
+// grammar, or an analyzer's own error-message literals). The scan is
+// line-local, so a marker on the interior line of a multi-line raw string
+// is not recognized as quoted; keep such examples on one line.
+func mentionOnly(line string, idx int) bool {
+	var quote byte // active quote character, 0 when outside any literal
+	for i := 0; i < idx && i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote == 0:
+			if c == '"' || c == '`' || c == '\'' {
+				quote = c
+			} else if c == '/' && i+1 < len(line) && line[i+1] == '/' {
+				// The rest of the line is already a comment, so the marker
+				// is comment text being quoted, not a directive.
+				return true
+			}
+		case quote == '`':
+			if c == '`' {
+				quote = 0
+			}
+		default:
+			if c == '\\' {
+				i++ // skip the escaped character
+			} else if c == quote {
+				quote = 0
+			}
+		}
+	}
+	return quote != 0
+}
+
+// AuditAnalyzerName is the one analyzer whose findings FilterByDirectives
+// never suppresses: allowaudit reports malformed //lint: directives, so a
+// directive must not be able to silence the report about itself.
+const AuditAnalyzerName = "allowaudit"
+
 // FilterByDirectives drops findings suppressed by a matching directive in
 // the corresponding file's sources. sources maps a filename (as it appears
-// in Finding.Pos.Filename) to its raw content.
+// in Finding.Pos.Filename) to its raw content. Findings from the directive
+// audit itself (AuditAnalyzerName) are never suppressed.
 func FilterByDirectives(findings []Finding, sources map[string][]byte) []Finding {
 	dirs := make(map[string][]Directive, len(sources))
 	for name, src := range sources {
@@ -87,10 +138,12 @@ func FilterByDirectives(findings []Finding, sources map[string][]byte) []Finding
 	kept := findings[:0]
 	for _, f := range findings {
 		suppressed := false
-		for _, d := range dirs[f.Pos.Filename] {
-			if d.TargetLine == f.Pos.Line && d.Matches(f.Analyzer) {
-				suppressed = true
-				break
+		if f.Analyzer != AuditAnalyzerName {
+			for _, d := range dirs[f.Pos.Filename] {
+				if d.TargetLine == f.Pos.Line && d.Matches(f.Analyzer) {
+					suppressed = true
+					break
+				}
 			}
 		}
 		if !suppressed {
@@ -98,4 +151,75 @@ func FilterByDirectives(findings []Finding, sources map[string][]byte) []Finding
 		}
 	}
 	return kept
+}
+
+// BorrowedPrefix introduces a borrowed-parameter annotation:
+//
+//	//lint:borrowed <analyzer>[,<analyzer>...] <param>[,<param>...] <why>
+//
+// placed on (or directly above) a function declaration. It tells the named
+// dataflow analyzers that the listed parameters are borrowed memory — owned
+// by the caller and only valid for the duration of the call — so retaining
+// them (storing into heap structures, sending on channels) is a contract
+// violation the analyzer reports. The trailing free text documents who owns
+// the memory; like allow justifications, it is mandatory (allowaudit flags
+// its absence).
+const BorrowedPrefix = "//lint:borrowed"
+
+// Borrowed is one parsed //lint:borrowed annotation.
+type Borrowed struct {
+	// File and Line locate the annotation itself.
+	File string
+	Line int
+	// TargetLine is the line of the function declaration the annotation
+	// applies to: its own line when it trails code, the next line
+	// otherwise.
+	TargetLine int
+	// Analyzers lists the dataflow analyzers the annotation addresses.
+	Analyzers []string
+	// Params lists the borrowed parameter names.
+	Params []string
+	// Note is the free-text ownership rationale.
+	Note string
+}
+
+// Matches reports whether the annotation addresses the named analyzer.
+func (b Borrowed) Matches(analyzer string) bool {
+	for _, a := range b.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseBorrowed scans raw source for //lint:borrowed annotations, with the
+// same text-based grammar rules as ParseDirectives.
+func ParseBorrowed(filename string, src []byte) []Borrowed {
+	var out []Borrowed
+	for i, line := range strings.Split(string(src), "\n") {
+		idx := strings.Index(line, BorrowedPrefix)
+		if idx < 0 || mentionOnly(line, idx) {
+			continue
+		}
+		rest := line[idx+len(BorrowedPrefix):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue
+		}
+		rest = trimTrailingComment(rest)
+		fields := strings.Fields(rest)
+		b := Borrowed{File: filename, Line: i + 1, TargetLine: i + 1}
+		if len(fields) > 0 {
+			b.Analyzers = strings.Split(fields[0], ",")
+		}
+		if len(fields) > 1 {
+			b.Params = strings.Split(fields[1], ",")
+			b.Note = strings.TrimSpace(strings.Join(fields[2:], " "))
+		}
+		if strings.TrimSpace(line[:idx]) == "" {
+			b.TargetLine = i + 2
+		}
+		out = append(out, b)
+	}
+	return out
 }

@@ -1,0 +1,57 @@
+package analysis
+
+import "testing"
+
+// TestParseDirectivesMentions checks that quoted occurrences of the
+// directive marker — in string literals or inside enclosing comments — are
+// not parsed as live directives, while real trailing and standalone
+// directives are.
+func TestParseDirectivesMentions(t *testing.T) {
+	src := []byte(`package p
+
+// The grammar is //lint:allow <analyzer> <why> — prose mention, not live.
+var msg = "write //lint:allow maporder why here" // string literal mention
+var raw = ` + "`//lint:allow maporder backtick mention`" + `
+var after = f("quoted") //lint:allow maporder directive after a closed string
+
+func g() {
+	h() //lint:allow wallclock trailing directive // want stays out of text
+	//lint:allow floateq standalone directive
+	k()
+}
+`)
+	ds := ParseDirectives("p.go", src)
+	if len(ds) != 3 {
+		t.Fatalf("got %d directives %+v, want 3", len(ds), ds)
+	}
+	if ds[0].Line != 6 || ds[0].Analyzers[0] != "maporder" {
+		t.Errorf("directive after closed string: got %+v", ds[0])
+	}
+	if ds[1].Line != 9 || ds[1].TargetLine != 9 || ds[1].Justification != "trailing directive" {
+		t.Errorf("trailing directive: got %+v", ds[1])
+	}
+	if ds[2].Line != 10 || ds[2].TargetLine != 11 || ds[2].Analyzers[0] != "floateq" {
+		t.Errorf("standalone directive: got %+v", ds[2])
+	}
+}
+
+// TestParseBorrowedMentions checks the same mention rules for
+// //lint:borrowed annotations.
+func TestParseBorrowedMentions(t *testing.T) {
+	src := []byte(`package p
+
+// Write //lint:borrowed <analyzer> <param> <why> above the function.
+var doc = "//lint:borrowed recycleuse buf quoted"
+
+//lint:borrowed recycleuse buf caller owns the buffer
+func f(buf []byte) {}
+`)
+	bs := ParseBorrowed("p.go", src)
+	if len(bs) != 1 {
+		t.Fatalf("got %d annotations %+v, want 1", len(bs), bs)
+	}
+	b := bs[0]
+	if b.Line != 6 || b.TargetLine != 7 || b.Params[0] != "buf" || b.Note != "caller owns the buffer" {
+		t.Errorf("annotation: got %+v", b)
+	}
+}

@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path"
+	"sort"
 	"strings"
 )
 
@@ -64,38 +66,80 @@ type SeverityConfig struct {
 }
 
 // LoadSeverityConfig reads and validates a severity configuration file.
-func LoadSeverityConfig(file string) (*SeverityConfig, error) {
+// known is the set of registered analyzer names: analyzer keys outside it
+// are rejected, so a typo in .lintscape.json cannot silently configure
+// nothing. A nil known set skips the name check (for tools that validate
+// shape only). Unknown top-level keys (e.g. "defaults" for "default") are
+// rejected by the JSON decoder.
+func LoadSeverityConfig(file string, known map[string]bool) (*SeverityConfig, error) {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		return nil, err
 	}
 	var cfg SeverityConfig
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		return nil, fmt.Errorf("%s: %v", file, err)
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v (top-level keys are \"default\" and \"dirs\")", file, err)
 	}
-	if err := cfg.validate(); err != nil {
+	if err := cfg.validate(known); err != nil {
 		return nil, fmt.Errorf("%s: %v", file, err)
 	}
 	return &cfg, nil
 }
 
-func (c *SeverityConfig) validate() error {
-	for a, s := range c.Default {
-		if _, err := parseSeverity(s); err != nil {
+func (c *SeverityConfig) validate(known map[string]bool) error {
+	checkName := func(where, a string) error {
+		if known != nil && !known[a] {
+			return fmt.Errorf("%s: unknown analyzer %q (known: %s)", where, a, knownList(known))
+		}
+		return nil
+	}
+	// Validation walks keys in sorted order so that a file with several
+	// problems reports the same one every run.
+	for _, a := range sortedKeys(c.Default) {
+		if err := checkName("default."+a, a); err != nil {
+			return err
+		}
+		if _, err := parseSeverity(c.Default[a]); err != nil {
 			return fmt.Errorf("default.%s: %v", a, err)
 		}
 	}
-	for dir, m := range c.Dirs {
+	for _, dir := range sortedKeys(c.Dirs) {
 		if path.Clean(dir) != dir || path.IsAbs(dir) {
 			return fmt.Errorf("dirs key %q: want a clean module-relative path", dir)
 		}
-		for a, s := range m {
-			if _, err := parseSeverity(s); err != nil {
+		m := c.Dirs[dir]
+		for _, a := range sortedKeys(m) {
+			if err := checkName(fmt.Sprintf("dirs.%s.%s", dir, a), a); err != nil {
+				return err
+			}
+			if _, err := parseSeverity(m[a]); err != nil {
 				return fmt.Errorf("dirs.%s.%s: %v", dir, a, err)
 			}
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// knownList renders the known analyzer names sorted, for error messages.
+func knownList(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // Severity resolves the severity of analyzer findings in the package

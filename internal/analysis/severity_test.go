@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadSeverityConfigValidation exercises the configuration-file
+// validation: misspelled top-level keys, unknown analyzer names and bad
+// severity keywords must be load errors so that a typo in .lintscape.json
+// cannot silently configure nothing.
+func TestLoadSeverityConfigValidation(t *testing.T) {
+	known := map[string]bool{"maporder": true, "wallclock": true, "viewescape": true}
+	cases := []struct {
+		name string
+		json string
+		// wantErr is a substring the load error must contain; "" means the
+		// load must succeed.
+		wantErr string
+	}{
+		{
+			name:    "valid",
+			json:    `{"default": {"maporder": "warn"}, "dirs": {"internal/x": {"wallclock": "off"}}}`,
+			wantErr: "",
+		},
+		{
+			name:    "empty object",
+			json:    `{}`,
+			wantErr: "",
+		},
+		{
+			name:    "misspelled top-level key",
+			json:    `{"defaults": {"maporder": "warn"}}`,
+			wantErr: `unknown field "defaults"`,
+		},
+		{
+			name:    "severity map at top level",
+			json:    `{"maporder": "warn"}`,
+			wantErr: `unknown field "maporder"`,
+		},
+		{
+			name:    "unknown analyzer in default",
+			json:    `{"default": {"mapordr": "warn"}}`,
+			wantErr: `unknown analyzer "mapordr"`,
+		},
+		{
+			name:    "unknown analyzer in dirs",
+			json:    `{"dirs": {"internal/x": {"viewscape": "off"}}}`,
+			wantErr: `unknown analyzer "viewscape"`,
+		},
+		{
+			name:    "bad severity keyword",
+			json:    `{"default": {"maporder": "warning"}}`,
+			wantErr: `unknown severity "warning"`,
+		},
+		{
+			name:    "absolute dirs key",
+			json:    `{"dirs": {"/internal/x": {"maporder": "off"}}}`,
+			wantErr: "clean module-relative path",
+		},
+		{
+			name:    "unclean dirs key",
+			json:    `{"dirs": {"internal//x": {"maporder": "off"}}}`,
+			wantErr: "clean module-relative path",
+		},
+		{
+			name:    "not json",
+			json:    `default: maporder warn`,
+			wantErr: "invalid character",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			file := filepath.Join(t.TempDir(), ".lintscape.json")
+			if err := os.WriteFile(file, []byte(tc.json), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := LoadSeverityConfig(file, known)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("LoadSeverityConfig: %v", err)
+				}
+				if cfg == nil {
+					t.Fatal("LoadSeverityConfig returned nil config without error")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("LoadSeverityConfig accepted %s; want error containing %q", tc.json, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestLoadSeverityConfigNilKnown checks that a nil known set skips the
+// name check but still validates shape and severities.
+func TestLoadSeverityConfigNilKnown(t *testing.T) {
+	file := filepath.Join(t.TempDir(), ".lintscape.json")
+	if err := os.WriteFile(file, []byte(`{"default": {"anything": "warn"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSeverityConfig(file, nil); err != nil {
+		t.Fatalf("nil known set must skip the name check: %v", err)
+	}
+	if err := os.WriteFile(file, []byte(`{"default": {"anything": "loud"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSeverityConfig(file, nil); err == nil {
+		t.Fatal("bad severity keyword must still be rejected with a nil known set")
+	}
+}
+
+// TestSeverityResolution pins the precedence: longest matching dirs
+// prefix, then default, then error.
+func TestSeverityResolution(t *testing.T) {
+	cfg := &SeverityConfig{
+		Default: map[string]string{"maporder": "warn"},
+		Dirs: map[string]map[string]string{
+			"internal":        {"maporder": "off"},
+			"internal/stream": {"maporder": "error"},
+		},
+	}
+	cases := []struct {
+		relDir string
+		want   Severity
+	}{
+		{"internal/stream", SeverityError},
+		{"internal/stream/deep", SeverityError},
+		{"internal/other", SeverityOff},
+		{"cmd/logscape", SeverityWarn},
+	}
+	for _, tc := range cases {
+		if got := cfg.Severity(tc.relDir, "maporder"); got != tc.want {
+			t.Errorf("Severity(%q, maporder) = %v, want %v", tc.relDir, got, tc.want)
+		}
+	}
+	if got := cfg.Severity("internal/stream", "wallclock"); got != SeverityError {
+		t.Errorf("unconfigured analyzer severity = %v, want error", got)
+	}
+	var nilCfg *SeverityConfig
+	if got := nilCfg.Severity("anywhere", "maporder"); got != SeverityError {
+		t.Errorf("nil config severity = %v, want error", got)
+	}
+}

@@ -1,0 +1,14 @@
+package allowaudit_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/analysistest"
+	"logscape/internal/analyzers"
+	"logscape/internal/analyzers/allowaudit"
+)
+
+func TestAllowAudit(t *testing.T) {
+	allowaudit.Known = analyzers.Names()
+	analysistest.Run(t, allowaudit.Analyzer, "a")
+}

@@ -1,0 +1,62 @@
+// Fixture for the allowaudit analyzer: well-formed directives are quiet,
+// misspelled names and missing rationale are findings.
+package a
+
+import "time"
+
+// goodAllow: known analyzer, justification present.
+func goodAllow() time.Time {
+	return time.Now() //lint:allow wallclock harness timing, not mining input
+}
+
+// goodAllowList: multiple analyzers and "all" are accepted.
+func goodAllowList() time.Time {
+	return time.Now() //lint:allow wallclock,floateq benchmark scaffolding
+}
+
+func goodAllowAll() time.Time {
+	return time.Now() //lint:allow all generated fixture, exempt wholesale
+}
+
+// badUnknown misspells the analyzer name: the directive suppresses nothing.
+func badUnknown() time.Time {
+	return time.Now() //lint:allow wallclok fat-fingered name // want `unknown analyzer "wallclok"`
+}
+
+// badNoWhy gives no justification.
+func badNoWhy() time.Time {
+	return time.Now() //lint:allow wallclock // want `without a justification`
+}
+
+// badEmpty has no analyzer list at all.
+func badEmpty() time.Time {
+	return time.Now() //lint:allow // want `without an analyzer list`
+}
+
+// goodBorrowed: known dataflow analyzer, params and note present.
+//
+//lint:borrowed recycleuse buf the caller reuses the buffer between calls
+func goodBorrowed(buf []byte) int {
+	return len(buf)
+}
+
+// badBorrowedUnknown names an unregistered analyzer.
+//
+//lint:borrowed recycluse buf typo in the analyzer name // want `unknown analyzer "recycluse"`
+func badBorrowedUnknown(buf []byte) int {
+	return len(buf)
+}
+
+// badBorrowedNoParams lists no parameter names.
+//
+//lint:borrowed recycleuse // want `without parameter names`
+func badBorrowedNoParams(buf []byte) int {
+	return len(buf)
+}
+
+// badBorrowedNoNote gives no ownership note.
+//
+//lint:borrowed viewescape buf // want `without an ownership note`
+func badBorrowedNoNote(buf []byte) int {
+	return len(buf)
+}

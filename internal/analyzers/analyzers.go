@@ -1,23 +1,34 @@
+// Package analyzers is the registry of the lintscape suite: the
+// per-package syntactic analyzers plus the program-level dataflow
+// analyzers built on internal/analysis/dataflow.
 package analyzers
 
 import (
 	"logscape/internal/analysis"
+	"logscape/internal/analyzers/allowaudit"
 	"logscape/internal/analyzers/bareconc"
 	"logscape/internal/analyzers/cfgzero"
 	"logscape/internal/analyzers/doclint"
 	"logscape/internal/analyzers/floateq"
 	"logscape/internal/analyzers/maporder"
+	"logscape/internal/analyzers/recycleuse"
+	"logscape/internal/analyzers/taintorder"
+	"logscape/internal/analyzers/viewescape"
 	"logscape/internal/analyzers/wallclock"
 )
 
 // All returns the full analyzer suite in stable (alphabetical) order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		allowaudit.Analyzer,
 		bareconc.Analyzer,
 		cfgzero.Analyzer,
 		doclint.Analyzer,
 		floateq.Analyzer,
 		maporder.Analyzer,
+		recycleuse.Analyzer,
+		taintorder.Analyzer,
+		viewescape.Analyzer,
 		wallclock.Analyzer,
 	}
 }
@@ -29,4 +40,10 @@ func Names() map[string]bool {
 		names[a.Name] = true
 	}
 	return names
+}
+
+func init() {
+	// The directive audit validates analyzer names against the registry;
+	// injecting the set here avoids an import cycle.
+	allowaudit.Known = Names()
 }

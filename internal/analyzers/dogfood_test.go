@@ -1,0 +1,35 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/runner"
+	"logscape/internal/analyzers"
+)
+
+// TestDogfood runs the full analyzer suite over this module itself,
+// test files included, and requires a clean bill: every finding must be
+// either fixed or carry a justified //lint:allow. This is the same code
+// path as `lintscape -tests ./...` (the CLI and this test share
+// internal/analysis/runner), so the module cannot merge code that its
+// own linter rejects.
+func TestDogfood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dogfood run type-checks the whole module; skipped in -short")
+	}
+	res, err := runner.Run(analyzers.All(), runner.Options{
+		Dir:      "../..", // module root, relative to this package
+		Patterns: []string{"./..."},
+		Tests:    true,
+		Known:    analyzers.Names(),
+	})
+	if err != nil {
+		t.Fatalf("runner.Run: %v", err)
+	}
+	for _, f := range res.Findings {
+		t.Error(f.String())
+	}
+	if t.Failed() {
+		t.Log("fix the finding or justify it with //lint:allow <analyzer> <why>")
+	}
+}

@@ -1,0 +1,12 @@
+package recycleuse_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/analysistest"
+	"logscape/internal/analyzers/recycleuse"
+)
+
+func TestRecycleUse(t *testing.T) {
+	analysistest.RunProgram(t, recycleuse.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package taintorder_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/analysistest"
+	"logscape/internal/analyzers/taintorder"
+)
+
+func TestTaintOrder(t *testing.T) {
+	analysistest.RunProgram(t, taintorder.Analyzer, "a", "g")
+}

@@ -1,0 +1,86 @@
+// Regression fixture: a method that collects map keys into a receiver
+// field and sorts them before returning must not re-taint the receiver
+// at call sites. The first bug class this caught: ParamOut recorded the
+// pre-sort store through the receiver, so a second call to Nodes saw a
+// tainted receiver and its result-from-receiver flow revived the taint.
+// Sanitizing a parameter chain now also clears its pending ParamOut.
+package g
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Graph mirrors the shape of internal/depgraph: an adjacency map plus a
+// cached, sorted node list.
+type Graph struct {
+	succ  map[string][]string
+	nodes []string
+}
+
+// Nodes stores map-iteration keys through the receiver, then sorts them.
+// The sort canonicalizes the receiver-visible memory, so neither the
+// result nor the receiver carries order-taint out of the call.
+func (g *Graph) Nodes() []string { // wantfact `result#0 from param#0`
+	if g.nodes == nil {
+		seen := make(map[string]bool)
+		for n := range g.succ {
+			seen[n] = true
+		}
+		for n := range seen {
+			g.nodes = append(g.nodes, n)
+		}
+		sort.Strings(g.nodes)
+	}
+	return g.nodes
+}
+
+// Layers calls Nodes twice on the same receiver: the second call must not
+// observe taint left behind by the first.
+func (g *Graph) Layers() [][]string {
+	depth := make(map[string]int)
+	maxDepth := 0
+	for _, n := range g.Nodes() {
+		if depth[n] > maxDepth {
+			maxDepth = depth[n]
+		}
+	}
+	layers := make([][]string, maxDepth+1)
+	for _, n := range g.Nodes() {
+		layers[depth[n]] = append(layers[depth[n]], n)
+	}
+	for _, l := range layers {
+		sort.Strings(l)
+	}
+	return layers
+}
+
+// goodUse prints values that are deterministic by construction. Layers
+// itself calls Nodes twice, so any leftover receiver taint from the first
+// call would surface here.
+func goodUse(w io.Writer) {
+	g := &Graph{succ: map[string][]string{"a": {"b"}}}
+	layers := g.Layers()
+	fmt.Fprintf(w, "%d layers, first %v\n", len(layers), layers[0])
+}
+
+// Collect is the control: the same store-through-receiver path without
+// the sort, so the ParamOut record must survive.
+func (g *Graph) Collect() []string { // wantfact `\*param#0 tainted: map iteration order`
+	for n := range g.succ {
+		g.nodes = append(g.nodes, n)
+	}
+	return g.nodes
+}
+
+// badUse revives the taint exactly the way the regression did: the first
+// call taints the local receiver through ParamOut, the second call's
+// result-from-receiver flow carries it to the writer.
+func badUse(w io.Writer) {
+	g := &Graph{succ: map[string][]string{"a": {"b"}}}
+	g.Collect()
+	for _, n := range g.Collect() {
+		fmt.Fprintln(w, n) // want `map iteration order reaches output write \(Fprintln\)`
+	}
+}

@@ -1,0 +1,106 @@
+// Fixture for the viewescape analyzer: view-mode entries must not outlive
+// the read buffer; durable copies and intern-mode parses stay quiet.
+package a
+
+import (
+	"strings"
+
+	"b"
+
+	"logscape/internal/logmodel"
+)
+
+var retained []logmodel.Entry
+var messages []string
+var out chan logmodel.Entry
+
+var table = logmodel.NewIntern()
+
+// badStore retains a view-mode entry in a package-level slice.
+func badStore(line []byte) {
+	e, err := logmodel.ParseEntryBytes(line, nil)
+	if err != nil {
+		return
+	}
+	retained = append(retained, e) // want `view-mode entry \(ParseEntryBytes with nil Intern\) escapes via assignment to package-level variable retained`
+}
+
+// badField retains a string field derived from a view-mode entry.
+func badField(line []byte) {
+	e, err := logmodel.ParseEntryBytes(line, nil)
+	if err != nil {
+		return
+	}
+	messages = append(messages, e.Message) // want `view-mode entry .* escapes via assignment to package-level variable messages`
+}
+
+// badSend ships a view-mode entry across a channel while the producer
+// still owns (and will reuse) the buffer.
+func badSend(line []byte) {
+	e, _ := logmodel.ParseEntryBytes(line, nil)
+	out <- e // want `view-mode entry .* escapes via channel send`
+}
+
+// badInto taints through the out-parameter form.
+func badInto(line []byte) {
+	var e logmodel.Entry
+	if err := logmodel.ParseEntryBytesInto(&e, line, nil); err != nil {
+		return
+	}
+	retained = append(retained, e) // want `view-mode entry \(ParseEntryBytesInto with nil Intern\) escapes via assignment to package-level variable retained`
+}
+
+// keep is a helper that retains its argument; the analyzer summarizes it.
+func keep(e logmodel.Entry) { // wantfact `param#0 escapes`
+	retained = append(retained, e)
+}
+
+// badViaHelper escapes through an in-package helper call.
+func badViaHelper(line []byte) {
+	e, _ := logmodel.ParseEntryBytes(line, nil)
+	keep(e) // want `view-mode entry .* escapes via call to keep`
+}
+
+// badViaOtherPackage escapes through a helper in another package.
+func badViaOtherPackage(line []byte) {
+	e, _ := logmodel.ParseEntryBytes(line, nil)
+	b.Keep(e) // want `view-mode entry .* escapes via call to Keep`
+}
+
+// goodIntern parses in intern mode: the entry is durable by contract.
+func goodIntern(line []byte) {
+	e, err := logmodel.ParseEntryBytes(line, table)
+	if err != nil {
+		return
+	}
+	retained = append(retained, e)
+}
+
+// goodClone retains a durable deep copy.
+func goodClone(line []byte) {
+	e, _ := logmodel.ParseEntryBytes(line, nil)
+	retained = append(retained, e.Clone())
+}
+
+// goodCloneField copies the one field it keeps.
+func goodCloneField(line []byte) {
+	e, _ := logmodel.ParseEntryBytes(line, nil)
+	messages = append(messages, strings.Clone(e.Message))
+}
+
+// goodConsume uses the view entry immediately — the zero-copy fast path.
+func goodConsume(line []byte) int {
+	e, err := logmodel.ParseEntryBytes(line, nil)
+	if err != nil {
+		return 0
+	}
+	return len(e.Message) + int(e.Time)
+}
+
+// goodValueField retains a pointer-free field: no buffer is aliased.
+var lastTime logmodel.Millis
+
+func goodValueField(line []byte) {
+	e, _ := logmodel.ParseEntryBytes(line, nil)
+	lastTime = e.Time
+}

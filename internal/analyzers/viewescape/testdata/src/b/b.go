@@ -1,0 +1,12 @@
+// Helper fixture package: Keep retains entries, making it a summarized
+// escape route for cross-package interprocedural flows.
+package b
+
+import "logscape/internal/logmodel"
+
+var kept []logmodel.Entry
+
+// Keep retains e beyond the call.
+func Keep(e logmodel.Entry) { // wantfact `param#0 escapes`
+	kept = append(kept, e)
+}

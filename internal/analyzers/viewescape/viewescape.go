@@ -1,0 +1,93 @@
+// Package viewescape enforces the view-mode half of the DESIGN.md §12
+// ownership contract: an Entry produced by ParseEntryBytes/ParseEntryBytesInto
+// with a nil Intern table aliases the read buffer, so it (and anything
+// derived from its fields) must not outlive the buffer — no stores into
+// heap-reachable structures, package-level variables or channels, directly
+// or through any chain of in-module calls.
+//
+// The analyzer is interprocedural: it runs the internal/analysis/dataflow
+// engine with a taint spec whose sources are statically-nil-Intern parse
+// calls, whose sanitizers are the sanctioned durable-copy idioms
+// (strings.Clone, Intern.Bytes, Entry.Clone), and whose sinks are
+// heap-crossing stores and channel sends. Helper functions that store their
+// parameters are summarized, so passing a view-mode entry into a helper
+// that retains it flags at the call site.
+package viewescape
+
+import (
+	"fmt"
+
+	"logscape/internal/analysis"
+	"logscape/internal/analysis/dataflow"
+)
+
+const logmodelPath = "logscape/internal/logmodel"
+
+// Analyzer flags view-mode parse results escaping their read buffer.
+var Analyzer = &analysis.Analyzer{
+	Name: "viewescape",
+	Doc: "forbid retaining view-mode parse results: ParseEntryBytes/ParseEntryBytesInto with a " +
+		"nil Intern return entries whose strings alias the read buffer, valid only until the " +
+		"buffer is reused; storing them (or values derived from their fields) into heap " +
+		"structures, globals or channels needs a durable copy first — strings.Clone, " +
+		"Intern.Bytes or Entry.Clone (DESIGN.md §12)",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	prog := dataflow.BuildProgram(pass.Fset, pass.Units)
+	dataflow.Analyze(spec, prog, pass)
+	return nil
+}
+
+var spec = &dataflow.Spec{
+	Name:          "viewescape",
+	ElementsAlias: true, // view-entry fields alias the buffer; loads propagate
+	HeapStores:    true,
+	ChanSend:      true,
+	Borrowed:      true,
+
+	Source: func(ci *dataflow.CallInfo) (dataflow.SourceTaint, bool) {
+		switch {
+		case ci.CalleeIs(logmodelPath, "ParseEntryBytes"):
+			// ParseEntryBytes(line, nil): the Entry result is a view.
+			if len(ci.Call.Args) == 2 && ci.IsNil(ci.Call.Args[1]) {
+				return dataflow.SourceTaint{
+					Reason:  "view-mode entry (ParseEntryBytes with nil Intern)",
+					Results: 1 << 0,
+				}, true
+			}
+		case ci.CalleeIs(logmodelPath, "ParseEntryBytesInto"):
+			// ParseEntryBytesInto(&e, line, nil): *e becomes a view.
+			if len(ci.Call.Args) == 3 && ci.IsNil(ci.Call.Args[2]) {
+				return dataflow.SourceTaint{
+					Reason:  "view-mode entry (ParseEntryBytesInto with nil Intern)",
+					PtrArgs: 1 << 0,
+				}, true
+			}
+		}
+		return dataflow.SourceTaint{}, false
+	},
+
+	Sanitize: func(ci *dataflow.CallInfo) (dataflow.SanitizeEffect, bool) {
+		switch {
+		case ci.CalleeIs("strings", "Clone"),
+			ci.CalleeIs(logmodelPath, "Clone"), // Entry.Clone / Store.Clone
+			ci.CalleeIs(logmodelPath, "Bytes"): // Intern.Bytes copies into the arena
+			return dataflow.SanitizeEffect{Results: 1 << 0}, true
+		case ci.CalleeIs(logmodelPath, "ParseEntryBytes") &&
+			len(ci.Call.Args) == 2 && !ci.IsNil(ci.Call.Args[1]):
+			// Intern mode: the result is durable by contract, whatever the
+			// engine concludes about the implementation's internals.
+			return dataflow.SanitizeEffect{Results: 1 << 0}, true
+		case ci.CalleeIs(logmodelPath, "ParseEntryBytesInto") &&
+			len(ci.Call.Args) == 3 && !ci.IsNil(ci.Call.Args[2]):
+			return dataflow.SanitizeEffect{PtrArgs: 1 << 0}, true
+		}
+		return dataflow.SanitizeEffect{}, false
+	},
+
+	Message: func(src, sink string) string {
+		return fmt.Sprintf("%s escapes via %s; the entry aliases the read buffer — make a durable copy first (strings.Clone, Intern.Bytes or Entry.Clone; DESIGN.md §12)", src, sink)
+	},
+}

@@ -1,0 +1,12 @@
+package viewescape_test
+
+import (
+	"testing"
+
+	"logscape/internal/analysis/analysistest"
+	"logscape/internal/analyzers/viewescape"
+)
+
+func TestViewEscape(t *testing.T) {
+	analysistest.RunProgram(t, viewescape.Analyzer, "a", "b")
+}

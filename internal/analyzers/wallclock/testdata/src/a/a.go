@@ -41,3 +41,24 @@ func allowedTiming(f func()) time.Duration {
 	f()
 	return time.Since(start) //lint:allow wallclock harness timing output, not mining input
 }
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+}
+
+func badTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+}
+
+func badTick() <-chan time.Time {
+	return time.Tick(time.Second) // want `time\.Tick reads the wall clock`
+}
+
+func badAfter() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+// allowedShutdownTimer is the escape hatch for real scheduling code.
+func allowedShutdownTimer() *time.Timer {
+	return time.NewTimer(time.Second) //lint:allow wallclock shutdown deadline, not mining input
+}

@@ -7,15 +7,21 @@ import (
 	"logscape/internal/analysis"
 )
 
-// banned are the time package functions that read the machine clock.
-var banned = map[string]bool{"Now": true, "Since": true, "Until": true}
+// banned are the time package functions that read the machine clock,
+// directly (Now/Since/Until) or through timers that fire off it
+// (NewTimer/NewTicker/Tick/After).
+var banned = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true, "After": true,
+}
 
 // Analyzer flags reads of the wall clock.
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
-	Doc: "forbid time.Now/time.Since/time.Until in mining code: all time must derive from " +
-		"log-entry timestamps so that mined models are a pure function of the input; " +
-		"allowlist real timing code per call site with //lint:allow wallclock <why>",
+	Doc: "forbid time.Now/time.Since/time.Until and the timer constructors " +
+		"time.NewTimer/time.NewTicker/time.Tick/time.After in mining code: all time must " +
+		"derive from log-entry timestamps so that mined models are a pure function of the " +
+		"input; allowlist real timing code per call site with //lint:allow wallclock <why>",
 	Run: run,
 }
 

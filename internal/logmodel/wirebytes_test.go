@@ -386,3 +386,21 @@ func TestReaderLongLine(t *testing.T) {
 		t.Fatalf("long message mangled: len %d want %d", len(got.Message), len(long))
 	}
 }
+
+func TestEntryCloneDetachesFromBuffer(t *testing.T) {
+	line := []byte("2004-03-01T00:00:00.000Z\tsrc\thostA\tuserB\tINFO\thello world")
+	e, err := ParseEntryBytes(line, nil) // view mode: fields alias line
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	for i := range line {
+		line[i] = 'x' // clobber the buffer, as a reader reusing it would
+	}
+	if c.Source != "src" || c.Host != "hostA" || c.User != "userB" || c.Message != "hello world" {
+		t.Errorf("clone aliases the clobbered buffer: %+v", c)
+	}
+	if c.Time != e.Time || c.Severity != e.Severity {
+		t.Errorf("clone changed value fields: %+v vs %+v", c, e)
+	}
+}

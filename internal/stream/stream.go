@@ -97,13 +97,16 @@ type window struct {
 	last    Bucket
 }
 
-// observe records a delivered bucket.
+// observe records a delivered bucket. Only the index and range are kept:
+// retaining b whole would pin b.Entries, which the ingester recycles once
+// the bucket retires from the window (Config.RecycleBuckets, DESIGN.md
+// §12).
 func (w *window) observe(b Bucket) {
 	if w.started && b.Index <= w.last.Index {
 		panic("stream: Advance requires strictly increasing bucket indexes")
 	}
 	w.started = true
-	w.last = b
+	w.last = Bucket{Index: b.Index, Range: b.Range}
 }
 
 // lo returns the first bucket index still inside the window.

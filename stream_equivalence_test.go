@@ -49,7 +49,7 @@ func runStreamDay(t *testing.T, workers int, checkBatch bool) streamRun {
 	}
 	miners := map[string]logscape.StreamMiner{
 		"l1": logscape.NewL1Stream(wcfg, logscape.L1Config{MinLogs: 8, Seed: 11, Workers: workers}),
-		"l2": logscape.NewL2Stream(wcfg, logscape.SessionConfig{}, logscape.L2Config{Workers: workers}),
+		"l2": logscape.NewL2Stream(wcfg, logscape.SessionConfig{}, logscape.L2Config{Workers: workers}), //lint:allow cfgzero stream-equivalence test exercises package defaults
 		"l3": logscape.NewL3Stream(wcfg, logscape.NewL3Miner(tb.Directory(), logscape.L3Config{
 			Stops:        tb.StopPatterns(),
 			MinCitations: 1,
