@@ -29,6 +29,7 @@ import (
 	"logscape/internal/core/l2"
 	"logscape/internal/core/l3"
 	"logscape/internal/directory"
+	"logscape/internal/drift"
 	"logscape/internal/hospital"
 	"logscape/internal/logmodel"
 	"logscape/internal/sessions"
@@ -209,6 +210,15 @@ func followStream(o options, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var fsrc stream.FeatureSource
+	if o.drift {
+		fs, ok := miner.(stream.FeatureSource)
+		if !ok {
+			return fmt.Errorf("-drift is not supported for method %q", o.method)
+		}
+		fs.TrackDrift(true)
+		fsrc = fs
+	}
 
 	if o.listen != "" {
 		stop, err := serveObs(o.listen, o.metrics)
@@ -242,6 +252,22 @@ func followStream(o options, stdout, stderr io.Writer) error {
 		}
 	} else {
 		in = stream.NewIngester(wcfg, miner)
+	}
+
+	// The drift detector resumes from the checkpoint's state blob: the
+	// restored window buckets are replayed into the miner only, never
+	// re-observed, so a kill+resume neither repeats nor drops an alert.
+	var det *drift.Detector
+	if o.drift {
+		dcfg := drift.Config{Metrics: o.metrics}
+		if cp != nil && len(cp.Drift) > 0 {
+			det, err = drift.Restore(dcfg, cp.Drift)
+			if err != nil {
+				return fmt.Errorf("resume: %w", err)
+			}
+		} else {
+			det = drift.NewDetector(dcfg)
+		}
 	}
 
 	var quarantine io.Writer
@@ -297,11 +323,28 @@ func followStream(o options, stdout, stderr io.Writer) error {
 			return
 		}
 		delta.print(in.WindowRange(), snap)
+		if det != nil {
+			f := fsrc.DriftFeatures()
+			for _, c := range det.Observe(drift.Observation{
+				Bucket: b.Index, At: b.Range.Start,
+				Active: f.Active, Scores: f.Scores, Delays: f.Delays,
+			}) {
+				fmt.Fprintln(stderr, c)
+			}
+		}
 		if o.resumePath != "" {
 			// Consumed() already covers the line that closed this bucket (it
 			// sits in the checkpoint's pending set), so base+Consumed is an
 			// exact resume point: no replay, no gap.
 			next := in.Checkpoint(base+feeder.Consumed(), src.rotations())
+			if det != nil {
+				blob, err := det.State()
+				if err != nil {
+					emitErr = fmt.Errorf("serializing drift state: %w", err)
+					return
+				}
+				next.Drift = blob
+			}
 			if err := stream.WriteCheckpointFile(o.resumePath, next); err != nil {
 				emitErr = fmt.Errorf("writing checkpoint: %w", err)
 			}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -97,6 +98,37 @@ func depCorpus() []string {
 	return lines
 }
 
+// driftCorpus builds a scripted-incident citation stream for l3 drift
+// detection: App1 cites REG from the start, adopts STORE at bucket 5 (a
+// birth confirmed K=3 buckets later), and stops citing REG at bucket 24 (a
+// death after the dense-key absence run of 4 buckets — the 24 observed
+// buckets behind REG satisfy the detector's young-key guard).
+func driftCorpus() []string {
+	var lines []string
+	for b := 0; b <= 32; b++ {
+		at := ts(time.Duration(b) * time.Second)
+		if b < 24 {
+			lines = append(lines, line(at, "App1", "GET http://reg.hug/reg/list"))
+		}
+		if b >= 5 {
+			lines = append(lines, line(at+200, "App1", "PUT http://store.hug/store/save"))
+		}
+	}
+	lines = append(lines, line(ts(33*time.Second), "App1", "done"))
+	return lines
+}
+
+// driftLines extracts the DRIFT alert lines from a follow run's stderr.
+func driftLines(stderr string) []string {
+	var out []string
+	for _, l := range strings.Split(stderr, "\n") {
+		if strings.HasPrefix(l, "DRIFT ") {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
 // writeDirXML persists the test service directory and returns its path.
 func writeDirXML(t *testing.T) string {
 	t.Helper()
@@ -169,6 +201,81 @@ func TestFollowGoldenDepDeltas(t *testing.T) {
 		t.Errorf("delta lines lack the expected dep transitions:\n%s", out)
 	}
 	checkGolden(t, "follow_deps", stderr.Bytes())
+}
+
+func TestFollowGoldenDriftAlerts(t *testing.T) {
+	o := followOpts(writeLog(t, driftCorpus()))
+	o.method = "l3"
+	o.dirPath = writeDirXML(t)
+	o.drift = true
+	var stdout, stderr bytes.Buffer
+	if err := followStream(o, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "birth App1->STORE") || !strings.Contains(out, "death App1->REG") {
+		t.Errorf("stderr lacks the scripted birth and death alerts:\n%s", out)
+	}
+	checkGolden(t, "follow_drift", stderr.Bytes())
+}
+
+// TestFollowDriftResumeKeepsAlertStream kills the follow run mid-incident
+// (two buckets into App1->REG's terminal absence run, before the death
+// confirms) and resumes: the concatenated DRIFT lines of the two runs must
+// equal an uninterrupted run's — no alert lost, none repeated.
+func TestFollowDriftResumeKeepsAlertStream(t *testing.T) {
+	lines := driftCorpus()
+	full := writeLog(t, lines)
+	dir := writeDirXML(t)
+	mkOpts := func(file string) options {
+		o := followOpts(file)
+		o.method = "l3"
+		o.dirPath = dir
+		o.drift = true
+		return o
+	}
+
+	var refOut, refErr bytes.Buffer
+	if err := followStream(mkOpts(full), &refOut, &refErr); err != nil {
+		t.Fatal(err)
+	}
+	ref := driftLines(refErr.String())
+	if len(ref) != 2 {
+		t.Fatalf("reference run alerts = %v, want a birth and a death", ref)
+	}
+
+	// Cut at a bucket boundary inside the death's absence run (absences
+	// start at bucket 24; the death confirms at 27; the cut leaves the
+	// first two absences on the checkpointed side).
+	cut := 0
+	for i, l := range lines {
+		e, err := logmodel.ParseEntry(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Time < ts(26*time.Second) {
+			cut = i + 1
+		}
+	}
+	prefixPath := writeLog(t, lines[:cut])
+	ckpt := filepath.Join(t.TempDir(), "follow.ckpt")
+
+	o1 := mkOpts(prefixPath)
+	o1.resumePath = ckpt
+	var out1, err1 bytes.Buffer
+	if err := followStream(o1, &out1, &err1); err != nil {
+		t.Fatal(err)
+	}
+	o2 := mkOpts(full)
+	o2.resumePath = ckpt
+	var out2, err2 bytes.Buffer
+	if err := followStream(o2, &out2, &err2); err != nil {
+		t.Fatal(err)
+	}
+	got := append(driftLines(err1.String()), driftLines(err2.String())...)
+	if !slices.Equal(got, ref) {
+		t.Errorf("kill+resume alert stream differs\ngot:  %v\nwant: %v", got, ref)
+	}
 }
 
 // TestFollowResumeContinuesWhereItStopped runs follow over a prefix of the

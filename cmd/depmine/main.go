@@ -40,6 +40,12 @@
 //	                (refused after a file rotation, and for stdin input)
 //	-quarantine FILE  append every rejected line, prefixed with its fault
 //	                class (malformed, oversized, late, corrupt)
+//	-drift          run the drift detector over the delivered buckets and
+//	                print one DRIFT line per confirmed change point to
+//	                stderr (dependency births and deaths, association-score
+//	                shifts, citation-delay shifts); detector state rides in
+//	                the -resume checkpoint, so a resumed run neither drops
+//	                nor repeats alerts
 package main
 
 import (
@@ -81,6 +87,7 @@ type options struct {
 	windowN        int
 	resumePath     string
 	quarantinePath string
+	drift          bool
 	files          []string
 	metrics        *obs.Registry
 }
@@ -104,6 +111,7 @@ func main() {
 	flag.Float64Var(&o.bucketSec, "bucket", 3600, "follow mode: bucket width in seconds")
 	flag.IntVar(&o.windowN, "window", 24, "follow mode: window size in buckets")
 	flag.StringVar(&o.resumePath, "resume", "", "follow mode: checkpoint file — written per closed bucket, loaded on start to resume after a kill")
+	flag.BoolVar(&o.drift, "drift", false, "follow mode: detect model drift (births, deaths, score and delay shifts) and print DRIFT lines to stderr")
 	flag.StringVar(&o.quarantinePath, "quarantine", "", "follow mode: append rejected lines (malformed/oversized/late/corrupt) to this file")
 	flag.Parse()
 	o.files = flag.Args()

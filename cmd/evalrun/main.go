@@ -4,12 +4,15 @@
 // Usage:
 //
 //	evalrun [-seed N] [-scale F] [-exp name[,name...]]
+//	evalrun -drift [-seed N] [-drift-json file]
 //
 // Experiment names: table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7,
-// table2, fig8, fig9, all (default).
+// table2, fig8, fig9, all (default). -drift runs the scored
+// drift-detection experiment over the scripted-incident corpus instead.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +30,36 @@ func main() {
 	exps := flag.String("exp", "all", "comma-separated experiments to run")
 	report := flag.String("report", "", "write a full Markdown report to this file and exit")
 	stats := flag.Bool("stats", false, "print the run's metrics document (JSON) to stderr")
+	drift := flag.Bool("drift", false, "run the scored drift-detection experiment and exit")
+	driftJSON := flag.String("drift-json", "", "with -drift, also write the scorecard JSON to this file")
 	flag.Parse()
+
+	if *drift || *driftJSON != "" {
+		// The drift experiment generates its own scripted-incident corpus;
+		// the full evaluation week is not needed.
+		t0 := time.Now() //lint:allow wallclock progress timing on stderr, not part of mined results
+		sc, err := eval.RunDriftExperiment(eval.DefaultDriftOptions(*seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalrun:", err)
+			os.Exit(1)
+		}
+		took := time.Since(t0).Round(time.Millisecond) //lint:allow wallclock progress timing on stderr, not part of mined results
+		fmt.Fprintf(os.Stderr, "drift experiment done in %v\n", took)
+		fmt.Print(sc)
+		if *driftJSON != "" {
+			data, err := json.MarshalIndent(sc, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evalrun:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*driftJSON, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "evalrun:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "scorecard written to %s\n", *driftJSON)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {

@@ -177,6 +177,34 @@ func (m *Miner) Scan(entries []logmodel.Entry) map[core.AppServicePair]*Evidence
 	return out
 }
 
+// ScanTimes runs the citation scan over one contiguous, time-ordered entry
+// shard and returns the timestamps of every counted citation per
+// dependency, in entry order. Counting rules match Scan exactly (stopped
+// and self-citations are excluded), so len(times) == Evidence.Count for
+// each pair. It is a second pass used by the drift detector's delay
+// channel; it records no metrics.
+func (m *Miner) ScanTimes(entries []logmodel.Entry) map[core.AppServicePair][]logmodel.Millis {
+	out := make(map[core.AppServicePair][]logmodel.Millis)
+	for i := range entries {
+		e := &entries[i]
+		cits := m.scanner.Citations(e.Message)
+		if cits == nil {
+			continue
+		}
+		if m.scanner.Stopped(e.Source, e.Message) {
+			continue
+		}
+		for _, id := range cits {
+			if !m.cfg.SelfCitations && m.cfg.Owner != nil && m.cfg.Owner[id] == e.Source {
+				continue
+			}
+			p := core.AppServicePair{App: e.Source, Group: id}
+			out[p] = append(out[p], e.Time)
+		}
+	}
+	return out
+}
+
 // MergeEvidence folds the evidence of a later shard into dst. Invariant of
 // Scan: when Count > 0, First/Last span the counted citations; when
 // Count == 0 (only stopped citations), First == Last == the first citation.

@@ -1,0 +1,114 @@
+package drift
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"logscape/internal/logmodel"
+)
+
+// syntheticStream generates a seeded observation stream exercising all
+// three detector channels: eight keys with densities from dense to sparse,
+// a mid-stream death (key 7), a delay-distribution shift (key 6) and a
+// score level shift (key 5). The same seed always yields the same stream.
+func syntheticStream(seed int64, n int) []Observation {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Observation, 0, n)
+	for b := 0; b < n; b++ {
+		o := Observation{
+			Bucket: int64(b),
+			At:     logmodel.Millis(b) * logmodel.MillisPerHour,
+		}
+		for k := 0; k < 8; k++ {
+			key := fmt.Sprintf("App%d->GRP%d", k, k)
+			p := 0.95 - 0.1*float64(k)
+			if k == 7 && b > n/2 {
+				p = 0 // scripted death
+			}
+			if rng.Float64() >= p {
+				continue
+			}
+			o.Active = append(o.Active, key)
+			center := 100 * float64(k+1)
+			if k == 6 && b > 2*n/3 {
+				center *= 4 // scripted delay shift
+			}
+			samples := make([]float64, 5+rng.Intn(8))
+			for i := range samples {
+				samples[i] = center * (0.5 + rng.Float64())
+			}
+			if o.Delays == nil {
+				o.Delays = map[string][]float64{}
+				o.Scores = map[string]float64{}
+			}
+			o.Delays[key] = samples
+			s := float64(k) + 0.2*rng.NormFloat64()
+			if k == 5 && b > 3*n/4 {
+				s += 10 // scripted score shift
+			}
+			o.Scores[key] = s
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// TestCheckpointRestoreMatchesUninterrupted is the resume-equivalence
+// property: checkpointing a detector mid-stream and restoring it must yield
+// byte-identical final state and an identical alert sequence to the
+// uninterrupted run, across ten seeds and seed-dependent split points.
+func TestCheckpointRestoreMatchesUninterrupted(t *testing.T) {
+	const buckets = 120
+	for seed := int64(1); seed <= 10; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := Config{}
+
+			ref := NewDetector(cfg)
+			var refAlerts []ChangePoint
+			for _, o := range syntheticStream(seed, buckets) {
+				refAlerts = append(refAlerts, ref.Observe(o)...)
+			}
+			refState, err := ref.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(refAlerts) == 0 {
+				t.Fatal("synthetic stream raised no alerts; the property is vacuous")
+			}
+
+			cut := 20 + int(seed)*9 // split points spread over the stream
+			split := NewDetector(cfg)
+			stream := syntheticStream(seed, buckets)
+			var alerts []ChangePoint
+			for _, o := range stream[:cut] {
+				alerts = append(alerts, split.Observe(o)...)
+			}
+			blob, err := split.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := Restore(cfg, blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range stream[cut:] {
+				alerts = append(alerts, resumed.Observe(o)...)
+			}
+			if !slices.Equal(alerts, refAlerts) {
+				t.Errorf("alerts after restore at bucket %d differ\ngot:  %v\nwant: %v",
+					cut, alerts, refAlerts)
+			}
+			gotState, err := resumed.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotState, refState) {
+				t.Errorf("final state after restore at bucket %d differs\ngot:  %s\nwant: %s",
+					cut, gotState, refState)
+			}
+		})
+	}
+}

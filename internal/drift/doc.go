@@ -1,0 +1,24 @@
+// Package drift turns the per-bucket model stream of internal/stream into
+// change-point decisions: "the landscape moved here". It watches three
+// channels of the stream —
+//
+//   - presence: which dependency keys had evidence in each delivered
+//     bucket, run through a persistence filter (a key must appear or
+//     vanish for K consecutive buckets before a birth or death is
+//     declared, with a per-key adaptive allowance for its habitual
+//     appearance gaps);
+//   - score: a per-key association-score trajectory (the L2 G² statistic
+//     over the sliding window), monitored with a two-sided CUSUM against
+//     a trailing reference window;
+//   - delay: per-bucket citation-delay samples (L3), compared against a
+//     pooled trailing reference sample with a Kolmogorov–Smirnov test.
+//
+// The detector is strictly sequential and a pure function of the
+// observation sequence: feeding the same observations yields the same
+// ChangePoints byte for byte, at any mining worker count and with metrics
+// on or off (the inputs carry those invariants; the detector adds no
+// randomness, no wall clock and no map-order dependence). Checkpoint and
+// Restore serialize the full detector state so a killed follow process
+// resumes with the exact alert stream an uninterrupted run would have
+// produced.
+package drift

@@ -48,6 +48,13 @@ func (r *Runner) WriteReport(w io.Writer, opts ReportOptions) error {
 	if !opts.SkipSlow {
 		section("Figure 9 — load study", r.Figure9(0))
 		section("Ablations", r.Ablations(opts.AblationDay))
+		if sc, err := RunDriftExperiment(DefaultDriftOptions(r.Opts.Seed)); err != nil {
+			if bw.err == nil {
+				bw.err = err
+			}
+		} else {
+			section("Drift detection — scripted incidents", sc)
+		}
 	}
 	if r.Opts.Metrics != nil {
 		// Last, so the snapshot covers every experiment above.

@@ -59,6 +59,15 @@ type Config struct {
 	MultiTaskProb float64
 	// Users and ClientHosts size the user and client-machine pools.
 	Users, ClientHosts int
+	// Incidents is the scripted-incident schedule (see incidents.go). An
+	// empty schedule leaves the generated stream byte-identical to a
+	// simulator without incident support.
+	Incidents []Incident
+	// Stationary freezes the weekly rhythm: every day is generated as a
+	// Tuesday and the forced free-text phenomena are disabled, so the
+	// stream has no scheduled change points — the null workload for the
+	// drift detector's false-positive tests.
+	Stationary bool
 }
 
 // DefaultConfig returns the calibrated 1/100-scale configuration.
@@ -124,6 +133,26 @@ var weekendHourWeights = [24]float64{
 	0.45, 0.60, 0.75, 0.80, 0.80, 0.75,
 	0.65, 0.70, 0.72, 0.72, 0.70, 0.60,
 	0.50, 0.42, 0.38, 0.35, 0.32, 0.30,
+}
+
+// flatHourWeights remove the diurnal signal entirely. Stationary runs use
+// them everywhere so that hour-of-day carries no information — overnight
+// lulls would otherwise make sparse dependencies vanish for hours at a
+// time, which is indistinguishable from a real outage at bucket scale.
+var flatHourWeights = [24]float64{
+	1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+	1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+}
+
+// hourCurve selects the hour-of-day weight curve for a day.
+func (s *Simulator) hourCurve(weekend bool) *[24]float64 {
+	if s.cfg.Stationary {
+		return &flatHourWeights
+	}
+	if weekend {
+		return &weekendHourWeights
+	}
+	return &hourWeights
 }
 
 // DayStats summarizes one generated day for the evaluation harness.
@@ -340,6 +369,9 @@ func (s *Simulator) GenerateDay(day int) (*logmodel.Store, DayStats) {
 	r := s.DayRange(day)
 	wd := s.DayDate(day).Weekday()
 	weekend := wd == time.Saturday || wd == time.Sunday
+	if s.cfg.Stationary {
+		wd, weekend = time.Tuesday, false
+	}
 	stats := DayStats{
 		Day:           day,
 		Date:          s.DayDate(day),
@@ -350,6 +382,15 @@ func (s *Simulator) GenerateDay(day int) (*logmodel.Store, DayStats) {
 	store := logmodel.NewStore(int(s.cfg.BackgroundPerWeekday * s.cfg.Scale * 1.3))
 
 	emit := func(t logmodel.Millis, app *App, host, user string, sev logmodel.Severity, msg string) {
+		if len(s.cfg.Incidents) > 0 {
+			// A dark application logs nothing; a migrated one logs from
+			// its new host. Both checks use the pre-skew time, so a host's
+			// clock offset cannot move an entry across an incident edge.
+			if s.appDown(app.Name, t) {
+				return
+			}
+			host = s.hostAt(app, host, t)
+		}
 		t += s.skew[host]
 		if t < 0 {
 			t = 0
@@ -366,7 +407,7 @@ func (s *Simulator) GenerateDay(day int) (*logmodel.Store, DayStats) {
 		before := store.Len()
 		user := userName(rng.Intn(s.cfg.Users))
 		host := clientHost(rng.Intn(s.cfg.ClientHosts))
-		start := sampleSessionStart(rng, r, weekend)
+		start := s.sampleSessionStart(rng, r, weekend)
 		gui := s.pickGUI(rng, weekend)
 		s.generateSession(rng, r, weekend, emit, &stats, gui, user, host, start)
 		if rng.Float64() < s.cfg.MultiTaskProb && i+1 < nSessions {
@@ -387,6 +428,11 @@ func (s *Simulator) GenerateDay(day int) (*logmodel.Store, DayStats) {
 
 	// --- Autonomous service-to-service activity ---------------------------
 	s.generateServiceCalls(rng, r, wd, weekend, emit, &stats)
+
+	// --- Scripted-incident traffic ----------------------------------------
+	if len(s.cfg.Incidents) > 0 {
+		s.generateIncidentTraffic(rng, r, emit, &stats)
+	}
 
 	// --- Injected free-text phenomena -------------------------------------
 	s.injectPhenomena(rng, r, wd, weekend, emit)
@@ -442,7 +488,7 @@ func (s *Simulator) generateServiceCalls(rng *rand.Rand, r logmodel.TimeRange,
 			mean := s.cfg.ServiceInvocationsPerWeekday * e.Weight * factor * s.cfg.Scale
 			n := poisson(rng, mean)
 			for j := 0; j < n; j++ {
-				t := sampleSessionStart(rng, r, weekend)
+				t := s.sampleSessionStart(rng, r, weekend)
 				s.simulateCall(rng, e, t, app, app.Host, "", 1, emit, stats)
 			}
 		}
@@ -450,11 +496,8 @@ func (s *Simulator) generateServiceCalls(rng *rand.Rand, r logmodel.TimeRange,
 }
 
 // sampleSessionStart draws a session start time following the diurnal curve.
-func sampleSessionStart(rng *rand.Rand, r logmodel.TimeRange, weekend bool) logmodel.Millis {
-	w := &hourWeights
-	if weekend {
-		w = &weekendHourWeights
-	}
+func (s *Simulator) sampleSessionStart(rng *rand.Rand, r logmodel.TimeRange, weekend bool) logmodel.Millis {
+	w := s.hourCurve(weekend)
 	var total float64
 	for _, x := range w {
 		total += x
@@ -562,6 +605,18 @@ func (s *Simulator) generateSession(rng *rand.Rand, r logmodel.TimeRange, weeken
 func (s *Simulator) simulateCall(rng *rand.Rand, e *Edge, t logmodel.Millis,
 	caller *App, callerHost, user string, depth int, emit emitFunc, stats *DayStats) logmodel.Millis {
 
+	// Scripted incidents circuit-break the call: a dark caller makes no
+	// calls, and calls into a dark group's owner are abandoned without a
+	// log line — which is what cascades an outage to the traffic the dark
+	// application carried.
+	fo := false
+	if len(s.cfg.Incidents) > 0 {
+		if s.appDown(caller.Name, t) || s.groupDown(e.Group, t) {
+			return t
+		}
+		fo = s.failoverActive(e.Group, t)
+	}
+
 	g := s.topo.Group(e.Group)
 	owner := s.topo.App(g.Owner)
 	fct := g.Services[rng.Intn(len(g.Services))]
@@ -591,9 +646,21 @@ func (s *Simulator) simulateCall(rng *rand.Rand, e *Edge, t logmodel.Millis,
 		}
 		emit(t, caller, callerHost, maybeUser(caller), logmodel.SevInfo,
 			invokeMessage(caller.InvokeStyle, cited, fct, urlFrag, rng))
+		if fo {
+			// The slow replica times the first attempt out and the caller
+			// retries, logging a second invocation within ~half a second —
+			// the citation-delay shift the drift detector's KS channel is
+			// built to notice.
+			emit(t+logmodel.Millis(400+rng.Intn(800)), caller, callerHost,
+				maybeUser(caller), logmodel.SevWarn,
+				invokeMessage(caller.InvokeStyle, cited, fct, urlFrag, rng))
+		}
 	}
 
 	latency := logmodel.Millis(10 + rng.Intn(290))
+	if fo {
+		latency *= 3
+	}
 	delay := latency / 2
 	if e.Async {
 		// Fire-and-forget: the callee acts after a second-scale delay and
@@ -672,6 +739,9 @@ func (s *Simulator) injectPhenomena(rng *rand.Rand, r logmodel.TimeRange,
 	wd time.Weekday, weekend bool, emit emitFunc) {
 
 	slot := weekdaySlot(wd)
+	if s.cfg.Stationary {
+		slot = -1 // no forced phenomena: every day draws from the same law
+	}
 	coinProb := s.cfg.CoincidenceProbWeekday
 	simProb := s.cfg.SimilarIDProbWeekday
 	if weekend {
@@ -685,7 +755,7 @@ func (s *Simulator) injectPhenomena(rng *rand.Rand, r logmodel.TimeRange,
 			continue
 		}
 		app := s.topo.App(p.App)
-		t := sampleSessionStart(rng, r, weekend)
+		t := s.sampleSessionStart(rng, r, weekend)
 		emit(t, app, clientHost(rng.Intn(s.cfg.ClientHosts)), userName(rng.Intn(s.cfg.Users)),
 			logmodel.SevInfo,
 			patientMessage(p.Group, firstNames[rng.Intn(len(firstNames))], rng))
@@ -703,7 +773,7 @@ func (s *Simulator) injectPhenomena(rng *rand.Rand, r logmodel.TimeRange,
 			}
 			app := s.topo.App(p.App)
 			g := s.topo.Group(p.Group)
-			t := sampleSessionStart(rng, r, weekend)
+			t := s.sampleSessionStart(rng, r, weekend)
 			emit(t, app, clientHost(rng.Intn(s.cfg.ClientHosts)), userName(rng.Intn(s.cfg.Users)),
 				logmodel.SevInfo,
 				invokeMessage(app.InvokeStyle, g.ID, g.Services[0], urlFragOf(g), rng))
@@ -742,7 +812,7 @@ func (s *Simulator) emitForcedFailure(rng *rand.Rand, r logmodel.TimeRange,
 		host = clientHost(rng.Intn(s.cfg.ClientHosts))
 		user = userName(rng.Intn(s.cfg.Users))
 	}
-	t := sampleSessionStart(rng, r, weekend)
+	t := s.sampleSessionStart(rng, r, weekend)
 	emit(t, caller, host, user, logmodel.SevError,
 		stackTraceMessage(g.ID, fct, e.StackTraceCite, citedFrag))
 }
@@ -761,10 +831,7 @@ func (s *Simulator) generateBackground(rng *rand.Rand, r logmodel.TimeRange,
 		return
 	}
 	budget := s.cfg.BackgroundPerWeekday * s.cfg.Scale * dayFactors[wd]
-	w := &hourWeights
-	if weekend {
-		w = &weekendHourWeights
-	}
+	w := s.hourCurve(weekend)
 	var hourTotal float64
 	for _, x := range w {
 		hourTotal += x

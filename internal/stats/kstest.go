@@ -53,6 +53,48 @@ func KSTestCDF(sorted []float64, cdf func(float64) float64) (KSResult, error) {
 	return ksAgainstCDF(sorted, cdf), nil
 }
 
+// KSTestTwoSample tests whether two sorted samples were drawn from the
+// same distribution (two-sample Kolmogorov–Smirnov). D is the supremum
+// distance between the two empirical CDFs; the p-value uses the Kolmogorov
+// asymptotic with the effective sample size n·m/(n+m) and Stephens'
+// finite-sample adjustment — the correction that makes the test honest
+// when the reference CDF is itself estimated from a sample, which the
+// one-sample form (KSTestCDF against an empirical reference) is not.
+func KSTestTwoSample(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, ErrEmpty
+	}
+	na, nb := float64(len(a)), float64(len(b))
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			if b[j] <= a[i] {
+				// Tied value: advance both runs of it before comparing the
+				// CDFs (a step shared by both samples is not a distance).
+				x := a[i]
+				for i < len(a) && a[i] <= x {
+					i++
+				}
+				for j < len(b) && b[j] <= x {
+					j++
+				}
+			} else {
+				i++
+			}
+		} else {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	sqrtNe := math.Sqrt(ne)
+	lambda := (sqrtNe + 0.12 + 0.11/sqrtNe) * d
+	return KSResult{D: d, PValue: ksSurvival(lambda), N: int(ne)}, nil
+}
+
 // ksAgainstCDF computes D and its p-value for a sorted sample.
 func ksAgainstCDF(sorted []float64, cdf func(float64) float64) KSResult {
 	n := float64(len(sorted))

@@ -45,6 +45,14 @@ type Checkpoint struct {
 	Pending [][]byte           `json:"pending,omitempty"`
 	Buckets []CheckpointBucket `json:"buckets,omitempty"`
 	Stats   IngestStats        `json:"stats"`
+
+	// Drift carries the drift detector's serialized state (drift.State),
+	// when the follower runs with drift detection on. The ingester itself
+	// neither produces nor consumes it: replaying the window's buckets
+	// through the miners must NOT re-feed the detector (those buckets were
+	// observed before the checkpoint), so the caller restores the detector
+	// from this blob instead.
+	Drift json.RawMessage `json:"drift,omitempty"`
 }
 
 // CheckpointBucket is one delivered window bucket in checkpoint form. Its

@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"logscape/internal/core/l1"
+	"logscape/internal/core/l2"
+	"logscape/internal/core/l3"
+	"logscape/internal/directory"
+	"logscape/internal/logmodel"
+	"logscape/internal/sessions"
+)
+
+func driftDir() *directory.Directory {
+	return &directory.Directory{Version: 1, Groups: []directory.Group{
+		{ID: "DPIREG", RootURL: "http://reg.hug/reg"},
+	}}
+}
+
+func driftEntry(t logmodel.Millis, src, user, msg string) logmodel.Entry {
+	return logmodel.Entry{Time: t, Source: src, Host: "h", User: user,
+		Severity: logmodel.SevInfo, Message: msg}
+}
+
+func TestL3DriftFeatures(t *testing.T) {
+	wcfg := Config{BucketWidth: logmodel.MillisPerSecond, WindowBuckets: 4}
+	m := NewL3(wcfg, l3.NewMiner(driftDir(), l3.DefaultConfig()))
+	m.TrackDrift(true)
+	b := Bucket{Index: 0, Range: logmodel.TimeRange{Start: 0, End: 1000}, Entries: []logmodel.Entry{
+		driftEntry(100, "A", "u", "call DPIREG start"),
+		driftEntry(400, "A", "u", "call DPIREG again"),
+		driftEntry(900, "A", "u", "call DPIREG done"),
+		driftEntry(950, "B", "u", "nothing cited"),
+	}}
+	m.Advance(b)
+	f := m.DriftFeatures()
+	if !reflect.DeepEqual(f.Active, []string{"A->DPIREG"}) {
+		t.Fatalf("active = %v", f.Active)
+	}
+	if !reflect.DeepEqual(f.Delays["A->DPIREG"], []float64{300, 500}) {
+		t.Fatalf("delays = %v", f.Delays)
+	}
+	// An empty bucket clears the features.
+	m.Advance(Bucket{Index: 1, Range: logmodel.TimeRange{Start: 1000, End: 2000}})
+	f = m.DriftFeatures()
+	if len(f.Active) != 0 || len(f.Delays) != 0 {
+		t.Fatalf("features after empty bucket: %+v", f)
+	}
+}
+
+func TestL3DriftFeaturesOffByDefault(t *testing.T) {
+	wcfg := Config{BucketWidth: logmodel.MillisPerSecond, WindowBuckets: 4}
+	m := NewL3(wcfg, l3.NewMiner(driftDir(), l3.DefaultConfig()))
+	m.Advance(Bucket{Index: 0, Range: logmodel.TimeRange{Start: 0, End: 1000},
+		Entries: []logmodel.Entry{driftEntry(100, "A", "u", "call DPIREG start")}})
+	f := m.DriftFeatures()
+	if len(f.Active) != 0 || len(f.Delays) != 0 {
+		t.Fatalf("features tracked while disabled: %+v", f)
+	}
+}
+
+func TestL2DriftFeatures(t *testing.T) {
+	wcfg := Config{BucketWidth: logmodel.MillisPerSecond, WindowBuckets: 4}
+	m := NewL2(wcfg, sessions.Config{MaxGap: 500, MinEntries: 2, MinSources: 2},
+		l2.Config{MinJoint: 1, Alpha: 0.05, Timeout: 500, Measure: l2.MeasureG2})
+	m.TrackDrift(true)
+	m.Advance(Bucket{Index: 0, Range: logmodel.TimeRange{Start: 0, End: 1000}, Entries: []logmodel.Entry{
+		driftEntry(100, "A", "u1", "open"),
+		driftEntry(200, "B", "u1", "answer"),
+		driftEntry(300, "A", "u1", "close"),
+	}})
+	f := m.DriftFeatures()
+	if !reflect.DeepEqual(f.Active, []string{"A--B"}) {
+		t.Fatalf("active = %v", f.Active)
+	}
+	if len(f.Scores) == 0 {
+		t.Fatal("no scores")
+	}
+	if _, ok := f.Scores["A--B"]; !ok {
+		t.Fatalf("scores lack A--B: %v", f.Scores)
+	}
+}
+
+func TestL1DriftFeaturesWorkerIndependent(t *testing.T) {
+	entries := []logmodel.Entry{
+		driftEntry(10, "A", "", "x"), driftEntry(12, "B", "", "x"),
+		driftEntry(300, "A", "", "x"), driftEntry(302, "B", "", "x"),
+		driftEntry(600, "A", "", "x"), driftEntry(602, "B", "", "x"),
+		driftEntry(800, "C", "", "x"),
+	}
+	features := func(workers int) DriftFeatures {
+		wcfg := Config{BucketWidth: logmodel.MillisPerSecond, WindowBuckets: 4}
+		cfg := l1.DefaultConfig()
+		cfg.MinLogs = 2
+		cfg.SampleSize = 8
+		cfg.Workers = workers
+		m := NewL1(wcfg, cfg)
+		m.TrackDrift(true)
+		m.Advance(Bucket{Index: 0, Range: logmodel.TimeRange{Start: 0, End: 1000}, Entries: entries})
+		return m.DriftFeatures()
+	}
+	a, b := features(1), features(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("features differ by worker count:\n%+v\n%+v", a, b)
+	}
+	for i, k := range a.Active {
+		if i > 0 && k <= a.Active[i-1] {
+			t.Fatalf("active keys not sorted: %v", a.Active)
+		}
+	}
+}

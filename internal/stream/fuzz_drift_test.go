@@ -1,0 +1,106 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+	"testing"
+
+	"logscape/internal/core/l3"
+	"logscape/internal/directory"
+	"logscape/internal/drift"
+	"logscape/internal/logmodel"
+)
+
+// FuzzDriftStream interprets the fuzz input as an incident schedule — one
+// byte per bucket, each bit toggling one app→group dependency for that
+// bucket, the high bits modulating citation spacing — renders it as a log
+// stream and runs it through the L3 pipeline with the drift detector at
+// scan parallelism 1 and 8. Invariants: nothing panics, and the alert
+// sequence and final serialized detector state are identical at every
+// worker count (drift features are a pure function of the delivered
+// bucket, so parallelism must never leak into alerts).
+func FuzzDriftStream(f *testing.F) {
+	// Steady presence, then a death and a rebirth.
+	f.Add(bytes.Repeat([]byte{0x0f}, 24))
+	f.Add(append(append(bytes.Repeat([]byte{0xff}, 12), bytes.Repeat([]byte{0x00}, 8)...),
+		bytes.Repeat([]byte{0xff}, 8)...))
+	// Flickering sparse keys and shifting delay spacing.
+	f.Add([]byte{0x01, 0x00, 0x81, 0x00, 0x41, 0xc1, 0x21, 0xa1, 0x61, 0xe1, 0x11, 0x91})
+	f.Add([]byte("incident schedule bytes"))
+	f.Add([]byte{})
+
+	dir := &directory.Directory{Version: 1, Groups: []directory.Group{
+		{ID: "GRPA", RootURL: "http://grpa.hug/a"},
+		{ID: "GRPB", RootURL: "http://grpb.hug/b"},
+	}}
+	urls := []string{"http://grpa.hug/a/list", "http://grpb.hug/b/save"}
+	base := logmodel.Millis(1133857200000) // 2005-12-06 08:00:00 UTC
+
+	f.Fuzz(func(t *testing.T, schedule []byte) {
+		if len(schedule) > 64 {
+			schedule = schedule[:64]
+		}
+		run := func(workers int) ([]drift.ChangePoint, []byte) {
+			wcfg := Config{BucketWidth: logmodel.MillisPerSecond, WindowBuckets: 4}
+			l3cfg := l3.DefaultConfig()
+			l3cfg.Workers = workers
+			miner := NewL3(wcfg, l3.NewMiner(dir, l3cfg))
+			miner.TrackDrift(true)
+			det := drift.NewDetector(drift.Config{
+				K: 2, RefBuckets: 4, MinDelaySamples: 4, DelayRuns: 2,
+			})
+			var alerts []drift.ChangePoint
+			in := NewIngester(wcfg, miner)
+			in.OnAdvance = func(b Bucket) {
+				feat := miner.DriftFeatures()
+				alerts = append(alerts, det.Observe(drift.Observation{
+					Bucket: b.Index,
+					At:     b.Range.Start,
+					Active: feat.Active,
+					Scores: feat.Scores,
+					Delays: feat.Delays,
+				})...)
+			}
+			for i, v := range schedule {
+				at := base + logmodel.Millis(i)*logmodel.MillisPerSecond
+				gap := logmodel.Millis(10 + 5*int64(v>>4))
+				for a := 0; a < 4; a++ {
+					for g := 0; g < 2; g++ {
+						if v&(1<<(a*2+g)) == 0 {
+							continue
+						}
+						app := fmt.Sprintf("App%d", a)
+						for k := logmodel.Millis(0); k < 3; k++ {
+							in.Add(logmodel.Entry{
+								Time:     at + logmodel.Millis(a)*3 + k*gap,
+								Source:   app,
+								Host:     "h1",
+								User:     "u1",
+								Severity: logmodel.SevInfo,
+								Message:  "GET " + urls[g],
+							})
+						}
+					}
+				}
+			}
+			in.Flush()
+			state, err := det.State()
+			if err != nil {
+				t.Fatalf("workers=%d: serializing detector state: %v", workers, err)
+			}
+			return alerts, state
+		}
+
+		seqAlerts, seqState := run(1)
+		parAlerts, parState := run(8)
+		if !slices.Equal(seqAlerts, parAlerts) {
+			t.Fatalf("alerts differ across worker counts\nworkers=1: %v\nworkers=8: %v",
+				seqAlerts, parAlerts)
+		}
+		if !bytes.Equal(seqState, parState) {
+			t.Fatalf("detector state differs across worker counts\nworkers=1: %s\nworkers=8: %s",
+				seqState, parState)
+		}
+	})
+}

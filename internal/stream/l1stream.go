@@ -3,6 +3,7 @@ package stream
 import (
 	"logscape/internal/core"
 	"logscape/internal/core/l1"
+	"logscape/internal/drift"
 	"logscape/internal/logmodel"
 )
 
@@ -20,6 +21,9 @@ type L1Stream struct {
 	// outs holds one cached outcome list per non-empty window bucket, in
 	// index order.
 	outs []indexedOutcomes
+	// trackDrift enables per-bucket drift features (see drift.go).
+	trackDrift bool
+	lastActive []string
 }
 
 type indexedOutcomes struct {
@@ -44,6 +48,14 @@ func (m *L1Stream) Advance(b Bucket) {
 	outcomes := l1.SlotOutcomes(b.Entries, b.Range, nil, m.cfg)
 	if len(outcomes) > 0 {
 		m.outs = append(m.outs, indexedOutcomes{index: b.Index, outcomes: outcomes})
+	}
+	if m.trackDrift {
+		m.lastActive = m.lastActive[:0]
+		for _, o := range outcomes {
+			if o.Positive {
+				m.lastActive = append(m.lastActive, drift.PairKey(o.Pair.A, o.Pair.B))
+			}
+		}
 	}
 	lo := m.win.lo()
 	drop := 0

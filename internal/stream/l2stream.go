@@ -28,6 +28,9 @@ type L2Stream struct {
 	// order — the affected-user lists handed to Tracker.Retire so
 	// retirement touches only the users of leaving buckets.
 	users []bucketUsers
+	// trackDrift enables per-bucket drift features (see drift.go).
+	trackDrift bool
+	lastActive []string
 }
 
 type bucketUsers struct {
@@ -83,7 +86,11 @@ func (m *L2Stream) Advance(b Bucket) {
 		m.apply(m.tracker.Retire(cutoff, names))
 	}
 
-	m.apply(m.tracker.Append(b.Entries))
+	ds := m.tracker.Append(b.Entries)
+	m.apply(ds)
+	if m.trackDrift {
+		m.lastActive = newBigramKeys(ds, m.cfg.Timeout)
+	}
 	if us := distinctUsers(b.Entries); len(us) > 0 {
 		m.users = append(m.users, bucketUsers{index: b.Index, users: us})
 	}

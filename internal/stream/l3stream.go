@@ -1,8 +1,11 @@
 package stream
 
 import (
+	"sort"
+
 	"logscape/internal/core"
 	"logscape/internal/core/l3"
+	"logscape/internal/drift"
 	"logscape/internal/logmodel"
 )
 
@@ -17,6 +20,10 @@ type L3Stream struct {
 	win   window
 	miner *l3.Miner
 	evs   []indexedEvidence
+	// trackDrift enables per-bucket drift features (see drift.go).
+	trackDrift bool
+	lastActive []string
+	lastDelays map[string][]float64
 }
 
 type indexedEvidence struct {
@@ -33,8 +40,29 @@ func NewL3(wcfg Config, miner *l3.Miner) *L3Stream {
 // Advance scans the bucket and retires buckets that left the window.
 func (m *L3Stream) Advance(b Bucket) {
 	m.win.observe(b)
-	if ev := m.miner.Scan(b.Entries); len(ev) > 0 {
+	ev := m.miner.Scan(b.Entries)
+	if len(ev) > 0 {
 		m.evs = append(m.evs, indexedEvidence{index: b.Index, evidence: ev})
+	}
+	if m.trackDrift {
+		m.lastActive = m.lastActive[:0]
+		for p, e := range ev {
+			if e.Count > 0 {
+				m.lastActive = append(m.lastActive, drift.DepKey(p.App, p.Group))
+			}
+		}
+		sort.Strings(m.lastActive)
+		m.lastDelays = make(map[string][]float64)
+		for p, ts := range m.miner.ScanTimes(b.Entries) {
+			if len(ts) < 2 {
+				continue
+			}
+			gaps := make([]float64, 0, len(ts)-1)
+			for i := 1; i < len(ts); i++ {
+				gaps = append(gaps, float64(ts[i]-ts[i-1])) //lint:allow maporder per-key gaps follow the scan's time order, not the map's
+			}
+			m.lastDelays[drift.DepKey(p.App, p.Group)] = gaps
+		}
 	}
 	lo := m.win.lo()
 	drop := 0
