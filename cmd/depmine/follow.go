@@ -18,9 +18,11 @@ package main
 // restarts without replaying the stream or double-ingesting a line.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"logscape/internal/drift"
 	"logscape/internal/hospital"
 	"logscape/internal/logmodel"
+	"logscape/internal/modelstore"
 	"logscape/internal/sessions"
 	"logscape/internal/stream"
 )
@@ -210,14 +213,29 @@ func followStream(o options, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Feature tracking feeds two consumers: the drift detector (-drift) and
+	// the store's per-key score column (-store). Either one turns it on.
 	var fsrc stream.FeatureSource
-	if o.drift {
-		fs, ok := miner.(stream.FeatureSource)
-		if !ok {
-			return fmt.Errorf("-drift is not supported for method %q", o.method)
-		}
+	if fs, ok := miner.(stream.FeatureSource); ok && (o.drift || o.storePath != "") {
 		fs.TrackDrift(true)
 		fsrc = fs
+	}
+	if o.drift && fsrc == nil {
+		return fmt.Errorf("-drift is not supported for method %q", o.method)
+	}
+
+	// Open the model store before the checkpoint is restored: a light
+	// (window-in-store) checkpoint needs the store to hydrate its window.
+	var store *modelstore.Store
+	if o.storePath != "" {
+		store, err = modelstore.Open(o.storePath, modelstore.Config{
+			BucketWidth:   wcfg.BucketWidth,
+			WindowBuckets: wcfg.WindowBuckets,
+			Metrics:       o.metrics,
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	if o.listen != "" {
@@ -242,6 +260,21 @@ func followStream(o options, stdout, stderr io.Writer) error {
 			return fmt.Errorf("checkpoint %s predates %d rotation(s); its offset no longer maps to one file — remove it to start fresh",
 				o.resumePath, cp.Rotations)
 		}
+	}
+	if cp != nil && cp.WindowInStore {
+		// The window's entries live in the store's raw segments: read them
+		// back locally instead of re-tailing the source stream.
+		if store == nil {
+			return fmt.Errorf("checkpoint %s stores its window in a model store; rerun with the original -store DIR", o.resumePath)
+		}
+		if err := store.Hydrate(cp); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+	}
+	if cp == nil && store != nil && !store.Empty() {
+		// Bucket indexes in the store are anchored to the original run's
+		// origin; appending from a fresh origin would corrupt the history.
+		return fmt.Errorf("store %s already holds segments but no checkpoint was found; resume with -resume, or point -store at a fresh directory", o.storePath)
 	}
 
 	var in *stream.Ingester
@@ -314,29 +347,81 @@ func followStream(o options, stdout, stderr io.Writer) error {
 		span := trace.Child("snapshot")
 		snap := miner.Snapshot()
 		span.End()
+		// The document is rendered once: the same bytes go to stdout and —
+		// verbatim — into the store, which is what makes the store's
+		// round-trip byte-identical to the live stream by construction.
 		span = trace.Child("emit")
-		err := core.WriteModel(stdout, snap)
+		var doc bytes.Buffer
+		err := core.WriteModel(&doc, snap)
+		if err == nil {
+			_, err = stdout.Write(doc.Bytes())
+		}
 		span.End()
 		trace.End()
 		if err != nil {
 			emitErr = err
 			return
 		}
+		var feats stream.DriftFeatures
+		if fsrc != nil {
+			feats = fsrc.DriftFeatures()
+		}
+		if store != nil {
+			// Evidence is serialized here, while the bucket's entries are
+			// still live: with RecycleBuckets the slices may be reused once
+			// OnAdvance returns, and AppendEntry copies every byte out.
+			rec := modelstore.Record{Bucket: b.Index, Range: b.Range, Model: doc.Bytes()}
+			for _, e := range b.Entries {
+				rec.Evidence = append(rec.Evidence, logmodel.AppendEntry(nil, e))
+			}
+			if len(feats.Scores) > 0 {
+				keys := make([]string, 0, len(feats.Scores))
+				for k := range feats.Scores {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					rec.Scores = append(rec.Scores, modelstore.Score{Key: k, Value: feats.Scores[k]})
+				}
+			}
+			if err := store.Append(rec); err != nil {
+				emitErr = err
+				return
+			}
+		}
 		delta.print(in.WindowRange(), snap)
 		if det != nil {
-			f := fsrc.DriftFeatures()
 			for _, c := range det.Observe(drift.Observation{
 				Bucket: b.Index, At: b.Range.Start,
-				Active: f.Active, Scores: f.Scores, Delays: f.Delays,
+				Active: feats.Active, Scores: feats.Scores, Delays: feats.Delays,
 			}) {
+				if store != nil {
+					// The confirming bucket's record was just appended, so the
+					// locator names the store's live raw segment.
+					ref, ok, err := store.Locate(c.At)
+					if err != nil {
+						emitErr = err
+						return
+					}
+					if ok {
+						c.Segment = ref.String()
+					}
+				}
 				fmt.Fprintln(stderr, c)
 			}
 		}
 		if o.resumePath != "" {
 			// Consumed() already covers the line that closed this bucket (it
 			// sits in the checkpoint's pending set), so base+Consumed is an
-			// exact resume point: no replay, no gap.
-			next := in.Checkpoint(base+feeder.Consumed(), src.rotations())
+			// exact resume point: no replay, no gap. With a store, the window
+			// is not serialized into the checkpoint — the store's raw
+			// segments already hold it (CheckpointLight).
+			var next *stream.Checkpoint
+			if store != nil {
+				next = in.CheckpointLight(base+feeder.Consumed(), src.rotations())
+			} else {
+				next = in.Checkpoint(base+feeder.Consumed(), src.rotations())
+			}
 			if det != nil {
 				blob, err := det.State()
 				if err != nil {

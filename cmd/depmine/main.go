@@ -46,6 +46,21 @@
 //	                shifts, citation-delay shifts); detector state rides in
 //	                the -resume checkpoint, so a resumed run neither drops
 //	                nor repeats alerts
+//	-store DIR      persist every closed bucket's model + evidence to an
+//	                on-disk segment store (compacted hour→day→week); with
+//	                -resume, restart replays the window from local segments
+//	                instead of re-reading the source logs, and DRIFT lines
+//	                carry a segment=… locator
+//
+// Time-travel subcommands (query a store written by -follow -store):
+//
+//	depmine query -store DIR -at TIME          print the model document
+//	                                           retained at TIME, exactly as
+//	                                           it was emitted live
+//	depmine diff -store DIR -from T1 -to T2    print the edge delta between
+//	                                           two instants
+//	depmine trajectory -store DIR -key KEY     print one dependency key's
+//	                                           presence/score history
 package main
 
 import (
@@ -88,11 +103,19 @@ type options struct {
 	resumePath     string
 	quarantinePath string
 	drift          bool
+	storePath      string
 	files          []string
 	metrics        *obs.Registry
 }
 
 func main() {
+	if len(os.Args) > 1 && storeCommands[os.Args[1]] {
+		if err := runStoreCommand(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "depmine:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var o options
 	flag.StringVar(&o.method, "method", "l3", "mining technique: l1, l2, l3 or baseline")
 	flag.StringVar(&o.dirPath, "dir", "", "service-directory XML (required for l3)")
@@ -113,6 +136,7 @@ func main() {
 	flag.StringVar(&o.resumePath, "resume", "", "follow mode: checkpoint file — written per closed bucket, loaded on start to resume after a kill")
 	flag.BoolVar(&o.drift, "drift", false, "follow mode: detect model drift (births, deaths, score and delay shifts) and print DRIFT lines to stderr")
 	flag.StringVar(&o.quarantinePath, "quarantine", "", "follow mode: append rejected lines (malformed/oversized/late/corrupt) to this file")
+	flag.StringVar(&o.storePath, "store", "", "follow mode: persist per-bucket models and evidence to this segment-store directory")
 	flag.Parse()
 	o.files = flag.Args()
 	if len(o.files) == 0 {

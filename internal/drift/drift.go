@@ -164,12 +164,24 @@ type ChangePoint struct {
 	// the CUSUM statistic for score shifts, the KS D statistic for delay
 	// shifts.
 	Score float64 `json:"score"`
+	// Segment, when set, points at the persisted model-store record of
+	// the confirming bucket ("raw-…seg#3"), so an operator can jump from
+	// the alert to the retained model and evidence. The detector never
+	// fills it — the follower annotates change-points when it runs with a
+	// store; without one the field stays empty and the alert line keeps
+	// its historical form.
+	Segment string `json:"segment,omitempty"`
 }
 
-// String renders the canonical one-line alert form.
+// String renders the canonical one-line alert form. A segment reference,
+// when present, is appended as a trailing locator.
 func (c ChangePoint) String() string {
-	return fmt.Sprintf("DRIFT [%s] %s %s (onset bucket %d, score %.3g)",
+	s := fmt.Sprintf("DRIFT [%s] %s %s (onset bucket %d, score %.3g)",
 		c.At.Time().Format("2006-01-02T15:04:05"), c.Kind, c.Key, c.Onset, c.Score)
+	if c.Segment != "" {
+		s += " segment=" + c.Segment
+	}
+	return s
 }
 
 // PairKey returns the drift key of an undirected pair ("A--B").

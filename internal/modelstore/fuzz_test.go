@@ -1,0 +1,38 @@
+package modelstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSegmentRoundTrip feeds arbitrary bytes to the segment decoder. The
+// decoder must never panic; whatever it accepts must re-encode to the
+// exact same byte image and decode again to the same records — the codec
+// has one canonical form, so accept→encode is the identity on accepted
+// inputs.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeSegment(levelRaw, nil))
+	f.Add(encodeSegment(levelRaw, []Record{testRecord(0, "doc\n")}))
+	f.Add(encodeSegment(levelWeek, []Record{testRecord(2, "a\n"), testRecord(9, "b\n")}))
+	long := testRecord(1, "{\"technique\":\"l1\"}\n")
+	long.Scores = append(long.Scores, Score{Key: "x--y", Value: 2.25})
+	f.Add(encodeSegment(levelHour, []Record{long}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		level, recs, err := decodeSegment(data)
+		if err != nil {
+			return
+		}
+		img := encodeSegment(level, recs)
+		if !bytes.Equal(img, data) {
+			t.Fatalf("accepted image is not canonical:\n in  %x\n out %x", data, img)
+		}
+		level2, recs2, err := decodeSegment(img)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if level2 != level || len(recs2) != len(recs) {
+			t.Fatalf("re-decode changed shape: %d/%d records, level %d/%d", len(recs), len(recs2), level, level2)
+		}
+	})
+}

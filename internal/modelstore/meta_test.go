@@ -1,0 +1,143 @@
+package modelstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logscape/internal/logmodel"
+)
+
+// wideCfg is testCfg with a ladder so wide nothing ever compacts.
+func wideCfg() Config {
+	cfg := testCfg()
+	cfg.Hour, cfg.Day, cfg.Week = 1_000_000, 1_000_000, 1_000_000
+	return cfg
+}
+
+func TestOpenRefusesCorruptMeta(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testCfg()); err == nil ||
+		!strings.Contains(err.Error(), metaFile) {
+		t.Errorf("Open over corrupt sidecar = %v, want refusal naming %s", err, metaFile)
+	}
+	if _, err := OpenRead(dir); err == nil {
+		t.Error("OpenRead over corrupt sidecar accepted")
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, metaFile), []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testCfg()); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("Open over future-version sidecar = %v, want version refusal", err)
+	}
+}
+
+func TestOpenReadRefusesNonStore(t *testing.T) {
+	if _, err := OpenRead(t.TempDir()); err == nil ||
+		!strings.Contains(err.Error(), "not a model store") {
+		t.Errorf("OpenRead on an empty dir = %v, want 'not a model store'", err)
+	}
+
+	// A sidecar carrying broken geometry must be refused by the same
+	// validation Open applies to its Config.
+	dir := t.TempDir()
+	meta := `{"version": 1, "bucket_width": 0, "window_buckets": 2,` +
+		` "hour": 4000, "day": 16000, "week": 64000}`
+	if err := os.WriteFile(filepath.Join(dir, metaFile), []byte(meta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRead(dir); err == nil {
+		t.Error("OpenRead accepted a sidecar with zero bucket width")
+	}
+}
+
+func TestLoadRefusesLevelNameMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, wideCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Rename the raw segment to an hour name without touching its level
+	// byte: the next load must notice the lie.
+	old := filepath.Join(dir, segName(levelRaw, 0))
+	if err := os.Rename(old, filepath.Join(dir, segName(levelHour, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRead(dir); err == nil ||
+		!strings.Contains(err.Error(), "in its name") {
+		t.Errorf("OpenRead over a mislabeled segment = %v, want level refusal", err)
+	}
+}
+
+func TestTrajectoryDepKey(t *testing.T) {
+	s, err := Open(t.TempDir(), wideCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec(0)
+	r.Model = []byte("{\n  \"technique\": \"l3\",\n  \"deps\": [{\"app\": \"A\", \"group\": \"G\"}]\n}\n")
+	r.Scores = nil
+	if err := s.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := s.Trajectory("A->G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || !pts[0].Present || pts[0].HasScore {
+		t.Errorf("dep-key trajectory = %+v, want one present scoreless point", pts)
+	}
+	if pts, err = s.Trajectory("A->OTHER"); err != nil || len(pts) != 1 || pts[0].Present {
+		t.Errorf("absent dep-key trajectory = %+v, %v", pts, err)
+	}
+}
+
+func TestTrajectoryRefusesCorruptModel(t *testing.T) {
+	s, err := Open(t.TempDir(), wideCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec(0)
+	r.Model = []byte("not a model document\n")
+	if err := s.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Trajectory("a--b"); err == nil {
+		t.Error("Trajectory parsed a non-JSON model document")
+	}
+	if _, err := s.DiffAt(2000, 2000); err == nil {
+		t.Error("DiffAt parsed a non-JSON model document")
+	}
+}
+
+func TestDiffAtRefusesUnretainedInstants(t *testing.T) {
+	s, err := Open(t.TempDir(), wideCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(5)); err != nil {
+		t.Fatal(err)
+	}
+	after := logmodel.Millis(10_000)
+	before := logmodel.Millis(100)
+	if _, err := s.DiffAt(before, after); err == nil ||
+		!strings.Contains(err.Error(), "no model retained") {
+		t.Errorf("DiffAt with unretained from = %v, want refusal", err)
+	}
+	if _, err := s.DiffAt(after, before); err == nil ||
+		!strings.Contains(err.Error(), "no model retained") {
+		t.Errorf("DiffAt with unretained to = %v, want refusal", err)
+	}
+}

@@ -1,0 +1,104 @@
+package modelstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"logscape/internal/core"
+	"logscape/internal/drift"
+	"logscape/internal/logmodel"
+)
+
+// TrajPoint is one sample of a key's history: the bucket it was observed
+// in, when that bucket closed, whether the key's edge was present in the
+// model at that instant, and — when the follower ran with score tracking
+// — the drift score (L2 G² statistic or delay-profile distance).
+type TrajPoint struct {
+	Bucket   int64
+	At       logmodel.Millis // bucket close time (Range.End)
+	Present  bool
+	Score    float64
+	HasScore bool
+}
+
+// Trajectory returns the per-record history of one key (drift key syntax:
+// "A--B" for a pair, "App->GROUP" for a directed dependency), oldest
+// first. Every retained record contributes a point; coarse tiers sample
+// the trajectory exactly as they sample the model history.
+func (s *Store) Trajectory(key string) ([]TrajPoint, error) {
+	recs, err := s.Records()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TrajPoint, 0, len(recs))
+	for _, rec := range recs {
+		doc, err := core.ReadModel(bytes.NewReader(rec.Model))
+		if err != nil {
+			return nil, fmt.Errorf("modelstore: bucket %d: %w", rec.Bucket, err)
+		}
+		p := TrajPoint{Bucket: rec.Bucket, At: rec.Range.End, Present: docHasKey(doc, key)}
+		if i := sort.Search(len(rec.Scores), func(i int) bool { return rec.Scores[i].Key >= key }); i < len(rec.Scores) && rec.Scores[i].Key == key {
+			p.Score, p.HasScore = rec.Scores[i].Value, true
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// docHasKey reports whether the drift-syntax key names an edge present in
+// the document.
+func docHasKey(doc core.ModelDocument, key string) bool {
+	for _, p := range doc.Pairs {
+		if drift.PairKey(p.A, p.B) == key {
+			return true
+		}
+	}
+	for _, d := range doc.Deps {
+		if drift.DepKey(d.App, d.Group) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Diff holds the model delta between two retained instants, in the same
+// only-in-A / only-in-B shape as core.DiffModels.
+type Diff struct {
+	From, To       Record
+	PairsGone      []core.Pair // in From only
+	PairsNew       []core.Pair // in To only
+	DepsGone       []core.AppServicePair
+	DepsNew        []core.AppServicePair
+	FromDoc, ToDoc core.ModelDocument
+}
+
+// DiffAt compares the models retained at t1 and t2.
+func (s *Store) DiffAt(t1, t2 logmodel.Millis) (*Diff, error) {
+	a, ok, err := s.ModelAt(t1)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("modelstore: no model retained at or before %s", t1.Time().Format("2006-01-02T15:04:05.000Z"))
+	}
+	b, ok, err := s.ModelAt(t2)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("modelstore: no model retained at or before %s", t2.Time().Format("2006-01-02T15:04:05.000Z"))
+	}
+	da, err := core.ReadModel(bytes.NewReader(a.Model))
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: bucket %d: %w", a.Bucket, err)
+	}
+	db, err := core.ReadModel(bytes.NewReader(b.Model))
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: bucket %d: %w", b.Bucket, err)
+	}
+	d := &Diff{From: a, To: b, FromDoc: da, ToDoc: db}
+	d.PairsGone, d.PairsNew = core.DiffModels(da.PairSet(), db.PairSet())
+	d.DepsGone, d.DepsNew = core.DiffDeps(da.DepSet(), db.DepSet())
+	return d, nil
+}

@@ -1,0 +1,294 @@
+package modelstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"logscape/internal/logmodel"
+)
+
+// Segment file format (versioned; see DESIGN.md §14):
+//
+//	header:  "LSEG" | version byte | level byte
+//	record:  u32le payload length | u32le CRC32-IEEE(payload) | payload
+//	payload: uvarint bucket index
+//	         uvarint range start (ms)      — pre-epoch streams are refused
+//	         uvarint range width (ms)
+//	         uvarint model length | model bytes (verbatim live document)
+//	         uvarint score count  | per score: uvarint key length | key |
+//	                                u64le IEEE-754 bits
+//	         uvarint evidence count | per line: uvarint length | wire bytes
+//
+// Everything is length-prefixed and CRC-guarded: a torn or bit-flipped
+// file fails loudly at read time instead of yielding a silently truncated
+// history. Whole files are written via tmp+rename, so refusal (rather
+// than best-effort salvage) is the safe policy — a verified previous
+// version of every file always exists.
+const (
+	segMagic      = "LSEG"
+	formatVersion = 1
+
+	// maxRecordLen bounds a single record's payload so a corrupt length
+	// prefix cannot drive a multi-gigabyte allocation before the CRC check.
+	maxRecordLen = 1 << 28
+)
+
+// Compaction levels, finest to coarsest. The numeric order is load-bearing:
+// cleanup and compaction treat a higher level as superseding the lower
+// levels it covers.
+const (
+	levelRaw = iota
+	levelHour
+	levelDay
+	levelWeek
+	numLevels
+)
+
+var levelNames = [numLevels]string{"raw", "hour", "day", "week"}
+
+// Score is one per-key drift score attached to a record, as produced by
+// the miners' feature stream (drift.PairKey / drift.DepKey key syntax).
+// Records store scores sorted by key.
+type Score struct {
+	Key   string
+	Value float64
+}
+
+// Record is one closed bucket's persisted state: the model document
+// exactly as it was emitted live (byte-for-byte), the drift scores at
+// that instant, and — at the raw level only — the bucket's entries as
+// wire-format lines, which is what segment-backed resume replays.
+type Record struct {
+	Bucket   int64
+	Range    logmodel.TimeRange
+	Model    []byte
+	Scores   []Score
+	Evidence [][]byte
+}
+
+// appendRecord appends the framed encoding of r to dst.
+func appendRecord(dst []byte, r Record) []byte {
+	var p []byte
+	p = binary.AppendUvarint(p, uint64(r.Bucket))
+	p = binary.AppendUvarint(p, uint64(r.Range.Start))
+	p = binary.AppendUvarint(p, uint64(r.Range.End-r.Range.Start))
+	p = binary.AppendUvarint(p, uint64(len(r.Model)))
+	p = append(p, r.Model...)
+	p = binary.AppendUvarint(p, uint64(len(r.Scores)))
+	for _, s := range r.Scores {
+		p = binary.AppendUvarint(p, uint64(len(s.Key)))
+		p = append(p, s.Key...)
+		p = binary.LittleEndian.AppendUint64(p, math.Float64bits(s.Value))
+	}
+	p = binary.AppendUvarint(p, uint64(len(r.Evidence)))
+	for _, line := range r.Evidence {
+		p = binary.AppendUvarint(p, uint64(len(line)))
+		p = append(p, line...)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(p))
+	return append(dst, p...)
+}
+
+// validRecord reports whether r is storable: non-negative times (the file
+// name and varint encodings both assume them), a non-empty forward range,
+// and a non-empty model document.
+func validRecord(r Record) error {
+	switch {
+	case r.Bucket < 0:
+		return fmt.Errorf("modelstore: negative bucket index %d", r.Bucket)
+	case r.Range.Start < 0:
+		return fmt.Errorf("modelstore: pre-epoch record start %d", r.Range.Start)
+	case r.Range.End <= r.Range.Start:
+		return fmt.Errorf("modelstore: empty record range [%d,%d)", r.Range.Start, r.Range.End)
+	case len(r.Model) == 0:
+		return fmt.Errorf("modelstore: record for bucket %d has no model document", r.Bucket)
+	}
+	return nil
+}
+
+// parseRecord decodes one record payload (the CRC has already been
+// verified). Every length is checked against the remaining bytes before
+// slicing, and trailing garbage is an error: the payload must be consumed
+// exactly.
+func parseRecord(p []byte) (Record, error) {
+	var r Record
+	u := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("modelstore: truncated varint in record")
+		}
+		// Reject non-minimal encodings: the format has exactly one byte
+		// image per value, which is what lets the round-trip tests assert
+		// encode(decode(x)) == x on every accepted input.
+		if n > 1 && v>>(7*(n-1)) == 0 {
+			return 0, fmt.Errorf("modelstore: non-minimal varint in record")
+		}
+		p = p[n:]
+		return v, nil
+	}
+	take := func(n uint64) ([]byte, error) {
+		if n > uint64(len(p)) {
+			return nil, fmt.Errorf("modelstore: record field length %d exceeds remaining %d bytes", n, len(p))
+		}
+		b := p[:n:n]
+		p = p[n:]
+		return b, nil
+	}
+
+	bucket, err := u()
+	if err != nil {
+		return r, err
+	}
+	start, err := u()
+	if err != nil {
+		return r, err
+	}
+	width, err := u()
+	if err != nil {
+		return r, err
+	}
+	r.Bucket = int64(bucket)
+	r.Range = logmodel.TimeRange{Start: logmodel.Millis(start), End: logmodel.Millis(start + width)}
+
+	n, err := u()
+	if err != nil {
+		return r, err
+	}
+	if r.Model, err = take(n); err != nil {
+		return r, err
+	}
+
+	if n, err = u(); err != nil {
+		return r, err
+	}
+	prevKey := ""
+	for i := uint64(0); i < n; i++ {
+		kl, err := u()
+		if err != nil {
+			return r, err
+		}
+		kb, err := take(kl)
+		if err != nil {
+			return r, err
+		}
+		if len(p) < 8 {
+			return r, fmt.Errorf("modelstore: truncated score value")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+		key := string(kb)
+		if i > 0 && key <= prevKey {
+			return r, fmt.Errorf("modelstore: score keys out of order (%q after %q)", key, prevKey)
+		}
+		prevKey = key
+		r.Scores = append(r.Scores, Score{Key: key, Value: v})
+	}
+
+	if n, err = u(); err != nil {
+		return r, err
+	}
+	for i := uint64(0); i < n; i++ {
+		ll, err := u()
+		if err != nil {
+			return r, err
+		}
+		line, err := take(ll)
+		if err != nil {
+			return r, err
+		}
+		r.Evidence = append(r.Evidence, line)
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("modelstore: %d trailing bytes after record", len(p))
+	}
+	if err := validRecord(r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// encodeSegment builds the full byte image of a segment file.
+func encodeSegment(level int, recs []Record) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, segMagic...)
+	buf = append(buf, formatVersion, byte(level))
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	return buf
+}
+
+// decodeSegment parses a full segment file image, verifying the header,
+// every record's CRC, and that bucket indexes are strictly increasing.
+func decodeSegment(data []byte) (level int, recs []Record, err error) {
+	if len(data) < len(segMagic)+2 || string(data[:len(segMagic)]) != segMagic {
+		return 0, nil, fmt.Errorf("modelstore: not a segment file (bad magic)")
+	}
+	if v := data[len(segMagic)]; v != formatVersion {
+		return 0, nil, fmt.Errorf("modelstore: segment format version %d, want %d", v, formatVersion)
+	}
+	level = int(data[len(segMagic)+1])
+	if level < 0 || level >= numLevels {
+		return 0, nil, fmt.Errorf("modelstore: unknown segment level %d", level)
+	}
+	p := data[len(segMagic)+2:]
+	last := int64(-1)
+	for len(p) > 0 {
+		if len(p) < 8 {
+			return 0, nil, fmt.Errorf("modelstore: truncated record frame (%d bytes left)", len(p))
+		}
+		n := binary.LittleEndian.Uint32(p)
+		sum := binary.LittleEndian.Uint32(p[4:])
+		p = p[8:]
+		if n > maxRecordLen {
+			return 0, nil, fmt.Errorf("modelstore: record length %d exceeds cap %d", n, maxRecordLen)
+		}
+		if uint64(n) > uint64(len(p)) {
+			return 0, nil, fmt.Errorf("modelstore: truncated record (%d byte payload, %d left)", n, len(p))
+		}
+		payload := p[:n]
+		p = p[n:]
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return 0, nil, fmt.Errorf("modelstore: record CRC mismatch (%08x, want %08x)", got, sum)
+		}
+		r, err := parseRecord(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if r.Bucket <= last {
+			return 0, nil, fmt.Errorf("modelstore: record buckets out of order (%d after %d)", r.Bucket, last)
+		}
+		last = r.Bucket
+		recs = append(recs, r)
+	}
+	return level, recs, nil
+}
+
+// writeSegment atomically persists a segment file: full image to a
+// sibling temp file, rename over the target. A crash mid-write leaves the
+// previous version (or nothing) — never a torn file.
+func writeSegment(path string, level int, recs []Record) (int, error) {
+	data := encodeSegment(level, recs)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return 0, err
+	}
+	return len(data), os.Rename(tmp, path)
+}
+
+// readSegment loads and verifies one segment file.
+func readSegment(path string) (int, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	level, recs, err := decodeSegment(data)
+	if err != nil {
+		return 0, nil, fmt.Errorf("modelstore: %s: %w", path, err)
+	}
+	return level, recs, nil
+}

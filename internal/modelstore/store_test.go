@@ -1,0 +1,484 @@
+package modelstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"logscape/internal/logmodel"
+	"logscape/internal/obs"
+	"logscape/internal/stream"
+)
+
+// testCfg is a miniature geometry that exercises the whole compaction
+// ladder with second-scale corpora: 1s buckets, a 2-bucket window, 4s
+// "hours", 16s "days", 64s "weeks".
+func testCfg() Config {
+	return Config{
+		BucketWidth:   1000,
+		WindowBuckets: 2,
+		Hour:          4_000,
+		Day:           16_000,
+		Week:          64_000,
+	}
+}
+
+// rec builds a record for bucket i with a deterministic unique model
+// document (valid JSON, so Trajectory can parse it) and one evidence line.
+func rec(i int64) Record {
+	start := logmodel.Millis(i * 1000)
+	model := fmt.Sprintf("{\n  \"technique\": \"l1\",\n  \"pairs\": [{\"a\": \"app%d\", \"b\": \"db\"}]\n}\n", i)
+	return Record{
+		Bucket: i,
+		Range:  logmodel.TimeRange{Start: start, End: start + 1000},
+		Model:  []byte(model),
+		Scores: []Score{{Key: fmt.Sprintf("app%d--db", i), Value: float64(i)}},
+		Evidence: [][]byte{
+			logmodel.AppendEntry(nil, logmodel.Entry{Time: start, Source: fmt.Sprintf("app%d", i), Host: "h", Message: "m"}),
+		},
+	}
+}
+
+func TestModelAtReturnsExactBytes(t *testing.T) {
+	// A wide ladder: nothing compacts, every bucket's instant stays
+	// retained and must come back byte-exact.
+	cfg := testCfg()
+	cfg.Hour, cfg.Day, cfg.Week = 1_000_000, 1_000_000, 1_000_000
+	s, err := Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 6; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 6; i++ {
+		// Query exactly at close time, and just before the next close.
+		for _, at := range []logmodel.Millis{logmodel.Millis(i*1000 + 1000), logmodel.Millis(i*1000 + 1999)} {
+			got, ok, err := s.ModelAt(at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("no model at %d", at)
+			}
+			if !bytes.Equal(got.Model, rec(i).Model) {
+				t.Fatalf("model at %d: got bucket %d's doc, want bucket %d's", at, got.Bucket, i)
+			}
+		}
+	}
+	if _, ok, err := s.ModelAt(999); err != nil || ok {
+		t.Fatalf("ModelAt before first close = (%v, %v), want absent", ok, err)
+	}
+}
+
+func TestCompactionLadderAndRetention(t *testing.T) {
+	reg := obs.New()
+	cfg := testCfg()
+	cfg.Metrics = reg
+	dir := t.TempDir()
+	s, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 160 // 160s of stream: two full "weeks" plus change
+	for i := int64(0); i < n; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reg.Counter("store.compactions").Value() == 0 {
+		t.Fatal("no compactions ran over a two-week stream")
+	}
+
+	recs, err := s.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every retained record's model bytes must be the exact appended bytes:
+	// compaction selects records, it never rewrites them.
+	for _, r := range recs {
+		if !bytes.Equal(r.Model, rec(r.Bucket).Model) {
+			t.Fatalf("bucket %d: model bytes changed across compaction", r.Bucket)
+		}
+	}
+	// The window's raw evidence must survive: the last WindowBuckets
+	// closed buckets are what a resume replays.
+	byBucket := map[int64]Record{}
+	for _, r := range recs {
+		byBucket[r.Bucket] = r
+	}
+	for i := int64(n - int64(cfg.WindowBuckets)); i < n; i++ {
+		r, ok := byBucket[i]
+		if !ok {
+			t.Fatalf("window bucket %d not retained", i)
+		}
+		if len(r.Evidence) == 0 {
+			t.Fatalf("window bucket %d lost its evidence", i)
+		}
+	}
+	// Old tiers must have shed evidence (that is the point of thinning).
+	for _, r := range recs {
+		if r.Bucket < n-64 && len(r.Evidence) != 0 {
+			t.Fatalf("ancient bucket %d still carries evidence", r.Bucket)
+		}
+	}
+	// The directory must hold coarse tiers for the old range.
+	names := dirNames(t, dir)
+	if !strings.Contains(names, "week-") || !strings.Contains(names, "day-") || !strings.Contains(names, "hour-") {
+		t.Fatalf("expected all ladder tiers on disk, got: %s", names)
+	}
+}
+
+// dirNames returns the sorted space-joined segment file names of dir.
+func dirNames(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}
+
+// dirBytes snapshots every segment file's content, keyed by name.
+func dirBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".seg") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// TestKillReopenIsByteDeterministic pins compaction determinism across a
+// process death: a store built in one run and a store built with a
+// close+reopen in the middle end up file-for-file byte-identical.
+func TestKillReopenIsByteDeterministic(t *testing.T) {
+	const n = 100
+	oneRun := t.TempDir()
+	s1, err := Open(oneRun, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		if err := s1.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	twoRuns := t.TempDir()
+	s2, err := Open(twoRuns, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n/2; i++ {
+		if err := s2.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Kill": drop the handle, reopen cold, replay the crash-window bucket
+	// (the last appended one) again, then continue.
+	s2, err = Open(twoRuns, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(n/2 - 1); i < n; i++ {
+		if err := s2.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a, b := dirBytes(t, oneRun), dirBytes(t, twoRuns)
+	if len(a) != len(b) {
+		t.Fatalf("file sets differ:\n one run: %s\n reopened: %s", dirNames(t, oneRun), dirNames(t, twoRuns))
+	}
+	for name, data := range a {
+		if !bytes.Equal(b[name], data) {
+			t.Errorf("%s differs between one-run and reopened store", name)
+		}
+	}
+}
+
+func TestOpenRefusesGeometryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCfg()
+	bad.WindowBuckets = 5
+	if _, err := Open(dir, bad); err == nil {
+		t.Fatal("reopen with different geometry accepted")
+	}
+}
+
+func TestOpenReadIsReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Geometry(); got.BucketWidth != 1000 || got.WindowBuckets != 2 {
+		t.Fatalf("geometry not recovered from sidecar: %+v", got)
+	}
+	if err := r.Append(rec(1)); err == nil {
+		t.Fatal("append on a read-only store accepted")
+	}
+	if _, err := OpenRead(t.TempDir()); err == nil {
+		t.Fatal("OpenRead on a non-store directory accepted")
+	}
+}
+
+func TestAppendRefusals(t *testing.T) {
+	s, err := Open(t.TempDir(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(rec(2)); err == nil {
+		t.Fatal("rewind past sealed segments accepted")
+	}
+	bad := rec(20)
+	bad.Range.Start, bad.Range.End = -5, 5
+	if err := s.Append(bad); err == nil {
+		t.Fatal("pre-epoch record accepted")
+	}
+	bad = rec(20)
+	bad.Model = nil
+	if err := s.Append(bad); err == nil {
+		t.Fatal("record without model accepted")
+	}
+	bad = rec(20)
+	bad.Scores = []Score{{Key: "z"}, {Key: "a"}}
+	if err := s.Append(bad); err == nil {
+		t.Fatal("unsorted scores accepted")
+	}
+}
+
+func TestRewindWithinActiveGranuleReplacesTail(t *testing.T) {
+	s, err := Open(t.TempDir(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-append bucket 2 (the crash window of a killed follower).
+	if err := s.Append(rec(2)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Bucket != 2 {
+		t.Fatalf("got %d records, want 3 ending at bucket 2", len(recs))
+	}
+}
+
+func TestTrajectory(t *testing.T) {
+	s, err := Open(t.TempDir(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	points, err := s.Trajectory("app2--db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	for i, p := range points {
+		wantPresent := i == 2
+		if p.Present != wantPresent {
+			t.Errorf("point %d: present = %v, want %v", i, p.Present, wantPresent)
+		}
+		if (i == 2) != (p.HasScore && p.Score == 2) {
+			t.Errorf("point %d: score = (%v, %v)", i, p.Score, p.HasScore)
+		}
+	}
+}
+
+func TestDiffAt(t *testing.T) {
+	s, err := Open(t.TempDir(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := s.DiffAt(1000, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.PairsGone) != 1 || d.PairsGone[0].A != "app0" {
+		t.Fatalf("pairs gone = %+v", d.PairsGone)
+	}
+	if len(d.PairsNew) != 1 || d.PairsNew[0].A != "app3" {
+		t.Fatalf("pairs new = %+v", d.PairsNew)
+	}
+	if _, err := s.DiffAt(10, 4000); err == nil {
+		t.Fatal("diff with unretained from-instant accepted")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	s, err := Open(t.TempDir(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 6; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, ok, err := s.Locate(5500)
+	if err != nil || !ok {
+		t.Fatalf("Locate = (%v, %v)", ok, err)
+	}
+	if !strings.HasPrefix(ref.File, "raw-") || ref.Record != 1 {
+		t.Fatalf("ref = %+v", ref)
+	}
+	if _, ok, _ := s.Locate(999_999); ok {
+		t.Fatal("Locate far in the future reported a record")
+	}
+}
+
+// TestHydrateFillsWindowFromSegments pins the segment-backed resume path:
+// a light checkpoint gets its window back from raw-segment evidence, and
+// the hydrated checkpoint restores through the ordinary stream path.
+func TestHydrateFillsWindowFromSegments(t *testing.T) {
+	s, err := Open(t.TempDir(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := &stream.Checkpoint{
+		Version:       1,
+		BucketWidth:   1000,
+		WindowBuckets: 2,
+		Cur:           5,
+		Open:          true,
+		WindowInStore: true,
+	}
+	if err := s.Hydrate(cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.WindowInStore {
+		t.Fatal("flag not cleared")
+	}
+	if len(cp.Buckets) != 2 || cp.Buckets[0].Index != 3 || cp.Buckets[1].Index != 4 {
+		t.Fatalf("hydrated window = %+v, want buckets 3,4", cp.Buckets)
+	}
+	want := rec(3).Evidence[0]
+	if !bytes.Equal(cp.Buckets[0].Entries[0], want) {
+		t.Fatal("hydrated entries differ from appended evidence")
+	}
+
+	// A crash-window record newer than the checkpoint cursor is excluded.
+	cp2 := &stream.Checkpoint{
+		Version: 1, BucketWidth: 1000, WindowBuckets: 2,
+		Cur: 4, Open: true, WindowInStore: true,
+	}
+	if err := s.Hydrate(cp2); err != nil {
+		t.Fatal(err)
+	}
+	if len(cp2.Buckets) != 2 || cp2.Buckets[1].Index != 3 {
+		t.Fatalf("hydrated window = %+v, want buckets 2,3", cp2.Buckets)
+	}
+
+	// Geometry mismatch refuses.
+	cp3 := &stream.Checkpoint{
+		Version: 1, BucketWidth: 500, WindowBuckets: 2,
+		Cur: 4, Open: true, WindowInStore: true,
+	}
+	if err := s.Hydrate(cp3); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+// TestCrashBetweenCompactionRenames pins the supersede recovery: if both
+// the promoted coarse file and its raw source survive a crash, reopening
+// keeps the coarse one and deletes the raw one.
+func TestCrashBetweenCompactionRenames(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fabricate the crash: re-create a raw file that a coarse tier already
+	// covers.
+	names := dirNames(t, dir)
+	if !strings.Contains(names, "hour-") {
+		t.Skipf("no hour tier yet in %s", names)
+	}
+	stale := filepath.Join(dir, segName(levelRaw, 0))
+	if _, err := writeSegment(stale, levelRaw, []Record{rec(0)}); err != nil {
+		t.Fatal(err)
+	}
+	before := dirBytes(t, dir)
+	delete(before, filepath.Base(stale))
+	if _, err := Open(dir, testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	after := dirBytes(t, dir)
+	if _, still := after[filepath.Base(stale)]; still {
+		t.Fatal("superseded raw segment survived reopen")
+	}
+	for name, data := range before {
+		if !bytes.Equal(after[name], data) {
+			t.Errorf("%s changed during supersede cleanup", name)
+		}
+	}
+}

@@ -46,6 +46,14 @@ type Checkpoint struct {
 	Buckets []CheckpointBucket `json:"buckets,omitempty"`
 	Stats   IngestStats        `json:"stats"`
 
+	// WindowInStore marks a light checkpoint (CheckpointLight): the window
+	// buckets were not serialized because a model store holds the same
+	// entries as raw-segment evidence. Restore refuses such a checkpoint
+	// until a hydrator (modelstore.Store.Hydrate) has filled Buckets back
+	// in and cleared the flag — restoring with a silently empty window
+	// would drop the miners' state instead of failing loudly.
+	WindowInStore bool `json:"window_in_store,omitempty"`
+
 	// Drift carries the drift detector's serialized state (drift.State),
 	// when the follower runs with drift detection on. The ingester itself
 	// neither produces nor consumes it: replaying the window's buckets
@@ -100,6 +108,38 @@ func (in *Ingester) Checkpoint(offset, rotations int64) *Checkpoint {
 	return c
 }
 
+// CheckpointLight captures the ingester's state like Checkpoint but skips
+// the window buckets and marks the result WindowInStore. It is the O(1)
+// form for store-backed followers: the window's entries already live in
+// the model store's raw segments, so serializing them again into every
+// checkpoint would write the window twice per bucket. Pending entries
+// (the open bucket) are still included — they have not been delivered,
+// so no store record holds them.
+func (in *Ingester) CheckpointLight(offset, rotations int64) *Checkpoint {
+	c := &Checkpoint{
+		Version:       checkpointVersion,
+		Offset:        offset,
+		Rotations:     rotations,
+		BucketWidth:   in.cfg.BucketWidth,
+		WindowBuckets: in.cfg.WindowBuckets,
+		Origin:        in.origin,
+		Cur:           in.cur,
+		Open:          in.open,
+		Stats:         in.stats,
+		WindowInStore: true,
+	}
+	if !in.started {
+		c.Cur = -1 // sentinel: no origin fixed yet
+	}
+	if n := len(in.pending); n > 0 {
+		c.Pending = make([][]byte, 0, n)
+		for _, e := range in.pending {
+			c.Pending = append(c.Pending, logmodel.AppendEntry(nil, e))
+		}
+	}
+	return c
+}
+
 // Restore rebuilds an ingester (and the given freshly constructed miners)
 // from the checkpoint: window buckets are replayed through every miner's
 // Advance in index order, pending entries are reinstated, and the window
@@ -110,6 +150,9 @@ func (in *Ingester) Checkpoint(offset, rotations int64) *Checkpoint {
 func (c *Checkpoint) Restore(cfg Config, miners ...Miner) (*Ingester, error) {
 	if c.Version != checkpointVersion {
 		return nil, fmt.Errorf("stream: checkpoint version %d, want %d", c.Version, checkpointVersion)
+	}
+	if c.WindowInStore {
+		return nil, fmt.Errorf("stream: checkpoint window lives in the model store; hydrate it from segments before restoring")
 	}
 	cfg = cfg.withDefaults()
 	if cfg.BucketWidth != c.BucketWidth || cfg.WindowBuckets != c.WindowBuckets {

@@ -183,6 +183,61 @@ func TestCheckpointRestoreValidation(t *testing.T) {
 	}
 }
 
+// TestCheckpointLight pins the store-backed checkpoint form: no window
+// buckets inside, the WindowInStore marker set, pending entries still
+// carried — and a refusal from Restore until a hydrator has put the
+// window back.
+func TestCheckpointLight(t *testing.T) {
+	wcfg := Config{BucketWidth: 1000, WindowBuckets: 4}
+	in := NewIngester(wcfg)
+	in.Add(logmodel.Entry{Time: 1500, Source: "A", Host: "h", Message: "windowed"})
+	in.Add(logmodel.Entry{Time: 2500, Source: "B", Host: "h", Message: "pending"})
+
+	full := in.Checkpoint(42, 0)
+	light := in.CheckpointLight(42, 0)
+	if !light.WindowInStore {
+		t.Fatal("light checkpoint not marked WindowInStore")
+	}
+	if light.Buckets != nil {
+		t.Fatalf("light checkpoint carries %d window buckets", len(light.Buckets))
+	}
+	if len(light.Pending) != 1 {
+		t.Fatalf("light checkpoint pending = %d entries, want 1", len(light.Pending))
+	}
+	if light.Cur != full.Cur || light.Open != full.Open || light.Origin != full.Origin ||
+		light.Stats != full.Stats || light.Offset != full.Offset {
+		t.Errorf("light checkpoint cursor state diverges from the full form:\nlight %+v\nfull  %+v", light, full)
+	}
+
+	if _, err := light.Restore(wcfg); err == nil ||
+		!strings.Contains(err.Error(), "hydrate") {
+		t.Errorf("un-hydrated light checkpoint restore = %v, want refusal", err)
+	}
+
+	// Hand-hydrating with the full checkpoint's buckets makes it restorable
+	// and equivalent.
+	light.Buckets = full.Buckets
+	light.WindowInStore = false
+	a, err := light.Restore(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := full.Restore(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wa, wb bytes.Buffer
+	if err := logmodel.WriteAll(&wa, a.WindowStore()); err != nil {
+		t.Fatal(err)
+	}
+	if err := logmodel.WriteAll(&wb, b.WindowStore()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wa.Bytes(), wb.Bytes()) {
+		t.Error("hydrated light restore differs from the full restore")
+	}
+}
+
 func TestCheckpointBeforeFirstEntry(t *testing.T) {
 	wcfg := Config{BucketWidth: 1000, WindowBuckets: 4}
 	in := NewIngester(wcfg)
