@@ -2,41 +2,20 @@ package main
 
 // Follow mode: instead of mining a finished corpus once, tail a log stream
 // and re-emit the dependency model of a sliding time window as it moves.
-// Pair with `tail -f | depmine -follow -` for live operation; the mode
-// itself never consults the wallclock — time advances only as entry
-// timestamps do, so replaying a historical file reproduces the exact same
-// sequence of models (and the batch-equivalence contract of
-// internal/stream guarantees each of them matches a one-shot batch run
-// over the same window).
+// Pair with `tail -f | depmine -follow -` for live operation.
 //
-// The ingest path is hardened against a hostile transport (the fault model
-// internal/chaos generates): transient read errors are retried with bounded
-// backoff, torn .gz tails deliver their decompressed prefix, rotations of a
-// tailed file are followed, malformed/oversized/late/corrupt lines are
-// counted by class and optionally preserved in a quarantine file, and
-// -resume checkpoints the window per closed bucket so a killed process
-// restarts without replaying the stream or double-ingesting a line.
+// The machinery lives in internal/follow (the same engine cmd/depmined
+// hosts once per tenant stream); this file only adapts the parsed flags
+// to a follow.Config, installs the CLI's retry backoff, and prints the
+// end-of-run summary the engine reports back.
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strings"
 	"time"
 
-	"logscape/internal/core"
-	"logscape/internal/core/l1"
-	"logscape/internal/core/l2"
-	"logscape/internal/core/l3"
-	"logscape/internal/directory"
-	"logscape/internal/drift"
-	"logscape/internal/hospital"
-	"logscape/internal/logmodel"
-	"logscape/internal/modelstore"
-	"logscape/internal/sessions"
-	"logscape/internal/stream"
+	"logscape/internal/follow"
 )
 
 // runFollow tails one wire-format log stream ("-" = stdin, ".gz"
@@ -46,106 +25,6 @@ import (
 // per-bucket trace and net/http/pprof are served over HTTP while it tails.
 func runFollow(o options) error {
 	return followStream(o, os.Stdout, os.Stderr)
-}
-
-// buildFollowMiner constructs the streaming miner for the selected method.
-func buildFollowMiner(o options, wcfg stream.Config) (stream.Miner, error) {
-	switch o.method {
-	case "l1":
-		cfg := l1.DefaultConfig()
-		cfg.MinLogs = o.minlogs
-		cfg.Workers = o.workers
-		cfg.Metrics = o.metrics
-		return stream.NewL1(wcfg, cfg), nil
-	case "l2":
-		cfg := l2.DefaultConfig()
-		cfg.Timeout = logmodel.SecondsToMillis(o.timeout)
-		if o.timeout == 0 {
-			cfg.Timeout = l2.NoTimeout
-		}
-		cfg.Workers = o.workers
-		cfg.Metrics = o.metrics
-		return stream.NewL2(wcfg, sessions.Config{Metrics: o.metrics}, cfg), nil
-	case "l3":
-		if o.dirPath == "" {
-			return nil, fmt.Errorf("l3 requires -dir")
-		}
-		df, err := os.Open(o.dirPath)
-		if err != nil {
-			return nil, err
-		}
-		dir, err := directory.Read(df)
-		df.Close()
-		if err != nil {
-			return nil, err
-		}
-		cfg := l3.DefaultConfig()
-		cfg.Workers = o.workers
-		cfg.Metrics = o.metrics
-		if !o.nostops {
-			cfg.Stops = hospital.CanonicalStopPatterns()
-		}
-		return stream.NewL3(wcfg, l3.NewMiner(dir, cfg)), nil
-	default:
-		return nil, fmt.Errorf("follow mode supports l1, l2 and l3, not %q", o.method)
-	}
-}
-
-// deltaPrinter renders the per-bucket stderr delta line: the window extent,
-// the model size, and the pairs (or app→service deps) that appeared and
-// disappeared since the previous window.
-type deltaPrinter struct {
-	w         io.Writer
-	deps      bool
-	prevPairs core.PairSet
-	prevDeps  core.AppServiceSet
-}
-
-func (d *deltaPrinter) print(r logmodel.TimeRange, snap core.ModelDocument) {
-	stamp := func(m logmodel.Millis) string {
-		return m.Time().Format("2006-01-02T15:04:05")
-	}
-	if d.deps {
-		cur := snap.DepSet()
-		gone, born := core.DiffDeps(d.prevDeps, cur)
-		fmt.Fprintf(d.w, "window [%s .. %s): %d deps", stamp(r.Start), stamp(r.End), len(cur))
-		for _, dep := range born {
-			fmt.Fprintf(d.w, " +%s->%s", dep.App, dep.Group)
-		}
-		for _, dep := range gone {
-			fmt.Fprintf(d.w, " -%s->%s", dep.App, dep.Group)
-		}
-		fmt.Fprintln(d.w)
-		d.prevDeps = cur
-		return
-	}
-	cur := snap.PairSet()
-	gone, born := core.DiffModels(d.prevPairs, cur)
-	fmt.Fprintf(d.w, "window [%s .. %s): %d pairs", stamp(r.Start), stamp(r.End), len(cur))
-	for _, p := range born {
-		fmt.Fprintf(d.w, " +%s--%s", p.A, p.B)
-	}
-	for _, p := range gone {
-		fmt.Fprintf(d.w, " -%s--%s", p.A, p.B)
-	}
-	fmt.Fprintln(d.w)
-	d.prevPairs = cur
-}
-
-// followSource is the composed hardened input stack.
-type followSource struct {
-	r      io.Reader              // retry (+ gzip) composition; read this
-	tailer *stream.Tailer         // non-nil for a plain file: rotation-aware
-	gz     *stream.TornGzipReader // non-nil for .gz input
-	close  func()
-}
-
-// rotations reports transport rotations seen so far (0 for stdin/.gz).
-func (s *followSource) rotations() int64 {
-	if s.tailer == nil {
-		return 0
-	}
-	return s.tailer.Rotations()
 }
 
 // followBackoff is the CLI retry schedule: 100ms per consecutive attempt,
@@ -159,85 +38,37 @@ func followBackoff(attempt int) {
 	time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
 }
 
-// openFollowSource builds the hardened read stack for one input name:
-// retries below the decompressor (gzip errors are sticky), torn-tail
-// tolerance for .gz, rotation-aware tailing for plain files.
-func openFollowSource(o options) (*followSource, error) {
-	policy := stream.RetryPolicy{MaxRetries: 8, Backoff: followBackoff}
-	name := o.files[0]
-	if name == "-" {
-		return &followSource{
-			r:     stream.NewRetryReader(os.Stdin, policy, o.metrics),
-			close: func() {},
-		}, nil
+// followConfig adapts the parsed flags to the engine's configuration.
+func followConfig(o options) (follow.Config, error) {
+	if len(o.files) != 1 {
+		return follow.Config{}, fmt.Errorf("follow mode tails exactly one log stream (a file or - for stdin)")
 	}
-	if strings.HasSuffix(name, ".gz") {
-		f, err := os.Open(name)
-		if err != nil {
-			return nil, err
-		}
-		gz := stream.NewTornGzipReader(stream.NewRetryReader(f, policy, o.metrics), o.metrics)
-		return &followSource{r: gz, gz: gz, close: func() { f.Close() }}, nil
-	}
-	tl, err := stream.NewTailer(name, stream.TailerConfig{Metrics: o.metrics})
-	if err != nil {
-		return nil, err
-	}
-	return &followSource{
-		r:      stream.NewRetryReader(tl, policy, o.metrics),
-		tailer: tl,
-		close:  func() { tl.Close() },
+	return follow.Config{
+		Method:         o.method,
+		Source:         o.files[0],
+		DirPath:        o.dirPath,
+		MinLogs:        o.minlogs,
+		TimeoutSec:     o.timeout,
+		NoStops:        o.nostops,
+		Workers:        o.workers,
+		BucketSec:      o.bucketSec,
+		WindowBuckets:  o.windowN,
+		ResumePath:     o.resumePath,
+		QuarantinePath: o.quarantinePath,
+		StorePath:      o.storePath,
+		Drift:          o.drift,
+		Metrics:        o.metrics,
+		Backoff:        followBackoff,
 	}, nil
 }
 
-// followStream is runFollow with pluggable output streams (testability: the
-// golden-file tests drive it directly).
+// followStream is runFollow with pluggable output streams (testability:
+// the golden-file tests drive it directly).
 func followStream(o options, stdout, stderr io.Writer) error {
-	if len(o.files) != 1 {
-		return fmt.Errorf("follow mode tails exactly one log stream (a file or - for stdin)")
-	}
-	if o.bucketSec <= 0 || o.windowN <= 0 {
-		return fmt.Errorf("follow mode requires -bucket > 0 and -window > 0")
-	}
-	wcfg := stream.Config{
-		BucketWidth:   logmodel.SecondsToMillis(o.bucketSec),
-		WindowBuckets: o.windowN,
-		Workers:       o.workers,
-		Metrics:       o.metrics,
-		// The built-in follow miners copy what they retain and the
-		// checkpoint serializes window buckets before they retire, so the
-		// ingester may reuse retired bucket slices.
-		RecycleBuckets: true,
-	}
-	miner, err := buildFollowMiner(o, wcfg)
+	cfg, err := followConfig(o)
 	if err != nil {
 		return err
 	}
-	// Feature tracking feeds two consumers: the drift detector (-drift) and
-	// the store's per-key score column (-store). Either one turns it on.
-	var fsrc stream.FeatureSource
-	if fs, ok := miner.(stream.FeatureSource); ok && (o.drift || o.storePath != "") {
-		fs.TrackDrift(true)
-		fsrc = fs
-	}
-	if o.drift && fsrc == nil {
-		return fmt.Errorf("-drift is not supported for method %q", o.method)
-	}
-
-	// Open the model store before the checkpoint is restored: a light
-	// (window-in-store) checkpoint needs the store to hydrate its window.
-	var store *modelstore.Store
-	if o.storePath != "" {
-		store, err = modelstore.Open(o.storePath, modelstore.Config{
-			BucketWidth:   wcfg.BucketWidth,
-			WindowBuckets: wcfg.WindowBuckets,
-			Metrics:       o.metrics,
-		})
-		if err != nil {
-			return err
-		}
-	}
-
 	if o.listen != "" {
 		stop, err := serveObs(o.listen, o.metrics)
 		if err != nil {
@@ -245,217 +76,18 @@ func followStream(o options, stdout, stderr io.Writer) error {
 		}
 		defer stop()
 	}
-
-	// Load the resume checkpoint, if any. A missing file is a fresh start.
-	var cp *stream.Checkpoint
-	if o.resumePath != "" {
-		if o.files[0] == "-" {
-			return fmt.Errorf("-resume requires a file input: stdin cannot be repositioned across restarts")
-		}
-		cp, err = stream.ReadCheckpointFile(o.resumePath)
-		if err != nil {
-			return err
-		}
-		if cp != nil && cp.Rotations > 0 {
-			return fmt.Errorf("checkpoint %s predates %d rotation(s); its offset no longer maps to one file — remove it to start fresh",
-				o.resumePath, cp.Rotations)
-		}
-	}
-	if cp != nil && cp.WindowInStore {
-		// The window's entries live in the store's raw segments: read them
-		// back locally instead of re-tailing the source stream.
-		if store == nil {
-			return fmt.Errorf("checkpoint %s stores its window in a model store; rerun with the original -store DIR", o.resumePath)
-		}
-		if err := store.Hydrate(cp); err != nil {
-			return fmt.Errorf("resume: %w", err)
-		}
-	}
-	if cp == nil && store != nil && !store.Empty() {
-		// Bucket indexes in the store are anchored to the original run's
-		// origin; appending from a fresh origin would corrupt the history.
-		return fmt.Errorf("store %s already holds segments but no checkpoint was found; resume with -resume, or point -store at a fresh directory", o.storePath)
-	}
-
-	var in *stream.Ingester
-	if cp != nil {
-		in, err = cp.Restore(wcfg, miner)
-		if err != nil {
-			return fmt.Errorf("resume: %w", err)
-		}
-	} else {
-		in = stream.NewIngester(wcfg, miner)
-	}
-
-	// The drift detector resumes from the checkpoint's state blob: the
-	// restored window buckets are replayed into the miner only, never
-	// re-observed, so a kill+resume neither repeats nor drops an alert.
-	var det *drift.Detector
-	if o.drift {
-		dcfg := drift.Config{Metrics: o.metrics}
-		if cp != nil && len(cp.Drift) > 0 {
-			det, err = drift.Restore(dcfg, cp.Drift)
-			if err != nil {
-				return fmt.Errorf("resume: %w", err)
-			}
-		} else {
-			det = drift.NewDetector(dcfg)
-		}
-	}
-
-	var quarantine io.Writer
-	if o.quarantinePath != "" {
-		qf, err := os.OpenFile(o.quarantinePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return err
-		}
-		defer qf.Close()
-		quarantine = qf
-	}
-	feeder := stream.NewFeeder(in, stream.FeederConfig{Quarantine: quarantine, Metrics: o.metrics})
-
-	src, err := openFollowSource(o)
+	res, err := follow.Run(cfg, stdout, stderr)
 	if err != nil {
 		return err
 	}
-	defer src.close()
-
-	// Reposition the transport at the checkpoint offset: a seek for a plain
-	// file, a decompressed-byte skip for .gz (the stream is re-read from the
-	// start, but nothing is re-ingested).
-	var base int64
-	if cp != nil {
-		base = cp.Offset
-		if src.tailer != nil {
-			if err := src.tailer.SeekTo(cp.Offset); err != nil {
-				return fmt.Errorf("resume: %w", err)
-			}
-		} else if _, err := io.CopyN(io.Discard, src.r, cp.Offset); err != nil {
-			return fmt.Errorf("resume: skipping %d bytes: %w", cp.Offset, err)
-		}
+	s, fs := res.Ingest, res.Feed
+	torn := ""
+	if res.TornGzip {
+		torn = ", torn gzip tail"
 	}
-
-	delta := &deltaPrinter{w: stderr, deps: o.method == "l3"}
-	var emitErr error
-	in.OnAdvance = func(b stream.Bucket) {
-		if emitErr != nil {
-			return
-		}
-		// One trace tree per delivered bucket; the latest completed one is
-		// what /trace serves.
-		trace := o.metrics.StartTrace(fmt.Sprintf("bucket %d", b.Index))
-		span := trace.Child("snapshot")
-		snap := miner.Snapshot()
-		span.End()
-		// The document is rendered once: the same bytes go to stdout and —
-		// verbatim — into the store, which is what makes the store's
-		// round-trip byte-identical to the live stream by construction.
-		span = trace.Child("emit")
-		var doc bytes.Buffer
-		err := core.WriteModel(&doc, snap)
-		if err == nil {
-			_, err = stdout.Write(doc.Bytes())
-		}
-		span.End()
-		trace.End()
-		if err != nil {
-			emitErr = err
-			return
-		}
-		var feats stream.DriftFeatures
-		if fsrc != nil {
-			feats = fsrc.DriftFeatures()
-		}
-		if store != nil {
-			// Evidence is serialized here, while the bucket's entries are
-			// still live: with RecycleBuckets the slices may be reused once
-			// OnAdvance returns, and AppendEntry copies every byte out.
-			rec := modelstore.Record{Bucket: b.Index, Range: b.Range, Model: doc.Bytes()}
-			for _, e := range b.Entries {
-				rec.Evidence = append(rec.Evidence, logmodel.AppendEntry(nil, e))
-			}
-			if len(feats.Scores) > 0 {
-				keys := make([]string, 0, len(feats.Scores))
-				for k := range feats.Scores {
-					keys = append(keys, k)
-				}
-				sort.Strings(keys)
-				for _, k := range keys {
-					rec.Scores = append(rec.Scores, modelstore.Score{Key: k, Value: feats.Scores[k]})
-				}
-			}
-			if err := store.Append(rec); err != nil {
-				emitErr = err
-				return
-			}
-		}
-		delta.print(in.WindowRange(), snap)
-		if det != nil {
-			for _, c := range det.Observe(drift.Observation{
-				Bucket: b.Index, At: b.Range.Start,
-				Active: feats.Active, Scores: feats.Scores, Delays: feats.Delays,
-			}) {
-				if store != nil {
-					// The confirming bucket's record was just appended, so the
-					// locator names the store's live raw segment.
-					ref, ok, err := store.Locate(c.At)
-					if err != nil {
-						emitErr = err
-						return
-					}
-					if ok {
-						c.Segment = ref.String()
-					}
-				}
-				fmt.Fprintln(stderr, c)
-			}
-		}
-		if o.resumePath != "" {
-			// Consumed() already covers the line that closed this bucket (it
-			// sits in the checkpoint's pending set), so base+Consumed is an
-			// exact resume point: no replay, no gap. With a store, the window
-			// is not serialized into the checkpoint — the store's raw
-			// segments already hold it (CheckpointLight).
-			var next *stream.Checkpoint
-			if store != nil {
-				next = in.CheckpointLight(base+feeder.Consumed(), src.rotations())
-			} else {
-				next = in.Checkpoint(base+feeder.Consumed(), src.rotations())
-			}
-			if det != nil {
-				blob, err := det.State()
-				if err != nil {
-					emitErr = fmt.Errorf("serializing drift state: %w", err)
-					return
-				}
-				next.Drift = blob
-			}
-			if err := stream.WriteCheckpointFile(o.resumePath, next); err != nil {
-				emitErr = fmt.Errorf("writing checkpoint: %w", err)
-			}
-		}
-	}
-
-	if err := feeder.Run(src.r); err != nil {
-		return err
-	}
-	in.Flush()
-	if emitErr != nil {
-		return emitErr
-	}
-
-	s, fs := in.Stats(), feeder.Stats()
 	fmt.Fprintf(stderr, "follow done: %d entries in %d buckets (%d late, %d corrupt, %d malformed, %d oversized, %d quarantined; %d rotations%s)\n",
 		s.Accepted, s.Buckets, s.Late, s.Corrupt, fs.Malformed, fs.Oversized, fs.Quarantined,
-		src.rotations(), tornSuffix(src.gz))
+		res.Rotations, torn)
 	printStats(o)
 	return nil
-}
-
-// tornSuffix annotates the summary when a .gz stream ended in a tear.
-func tornSuffix(gz *stream.TornGzipReader) string {
-	if gz != nil && gz.Torn() {
-		return ", torn gzip tail"
-	}
-	return ""
 }

@@ -8,41 +8,19 @@ package main
 //
 // `query` prints the retained document byte-for-byte as it was emitted
 // live — the store's round-trip contract makes the two indistinguishable.
+// Parsing and rendering live in internal/modelstore (ParseWhen, WriteDiff,
+// WriteTrajectory), shared with depmined's per-tenant query endpoints.
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"strconv"
-	"time"
 
-	"logscape/internal/logmodel"
 	"logscape/internal/modelstore"
 )
 
 // storeCommands names the subcommands main dispatches to runStoreCommand.
 var storeCommands = map[string]bool{"query": true, "diff": true, "trajectory": true}
-
-// stamp renders a Millis in the CLI's canonical second-resolution UTC form.
-func stamp(m logmodel.Millis) string {
-	return m.Time().Format("2006-01-02T15:04:05")
-}
-
-// parseWhen parses a user-supplied instant: Unix milliseconds, RFC 3339,
-// or the zone-less "2006-01-02T15:04:05" form (interpreted as UTC, the
-// same rendering the follower's stderr lines use).
-func parseWhen(s string) (logmodel.Millis, error) {
-	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
-		return logmodel.Millis(n), nil
-	}
-	if t, err := time.Parse(time.RFC3339, s); err == nil {
-		return logmodel.FromTime(t), nil
-	}
-	if t, err := time.Parse("2006-01-02T15:04:05", s); err == nil {
-		return logmodel.FromTime(t), nil
-	}
-	return 0, fmt.Errorf("cannot parse time %q (want Unix millis, RFC 3339, or 2006-01-02T15:04:05 UTC)", s)
-}
 
 // runStoreCommand executes one time-travel subcommand against a store
 // directory. It never writes to the store: queries are side-effect free.
@@ -71,7 +49,7 @@ func runStoreCommand(cmd string, args []string, stdout io.Writer) error {
 		if *at == "" {
 			return fmt.Errorf("query requires -at TIME")
 		}
-		t, err := parseWhen(*at)
+		t, err := modelstore.ParseWhen(*at)
 		if err != nil {
 			return err
 		}
@@ -80,7 +58,7 @@ func runStoreCommand(cmd string, args []string, stdout io.Writer) error {
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("no model retained at or before %s", stamp(t))
+			return fmt.Errorf("no model retained at or before %s", modelstore.Stamp(t))
 		}
 		_, err = stdout.Write(rec.Model)
 		return err
@@ -88,11 +66,11 @@ func runStoreCommand(cmd string, args []string, stdout io.Writer) error {
 		if *from == "" || *to == "" {
 			return fmt.Errorf("diff requires -from TIME and -to TIME")
 		}
-		t1, err := parseWhen(*from)
+		t1, err := modelstore.ParseWhen(*from)
 		if err != nil {
 			return err
 		}
-		t2, err := parseWhen(*to)
+		t2, err := modelstore.ParseWhen(*to)
 		if err != nil {
 			return err
 		}
@@ -100,29 +78,7 @@ func runStoreCommand(cmd string, args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "diff %s (bucket %d) .. %s (bucket %d):\n",
-			stamp(d.From.Range.End), d.From.Bucket, stamp(d.To.Range.End), d.To.Bucket)
-		n := 0
-		for _, p := range d.PairsNew {
-			fmt.Fprintf(stdout, "+ %s--%s\n", p.A, p.B)
-			n++
-		}
-		for _, p := range d.PairsGone {
-			fmt.Fprintf(stdout, "- %s--%s\n", p.A, p.B)
-			n++
-		}
-		for _, p := range d.DepsNew {
-			fmt.Fprintf(stdout, "+ %s->%s\n", p.App, p.Group)
-			n++
-		}
-		for _, p := range d.DepsGone {
-			fmt.Fprintf(stdout, "- %s->%s\n", p.App, p.Group)
-			n++
-		}
-		if n == 0 {
-			fmt.Fprintln(stdout, "no changes")
-		}
-		return nil
+		return modelstore.WriteDiff(stdout, d)
 	case "trajectory":
 		if *key == "" {
 			return fmt.Errorf("trajectory requires -key KEY")
@@ -131,18 +87,7 @@ func runStoreCommand(cmd string, args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		for _, p := range points {
-			present := "absent"
-			if p.Present {
-				present = "present"
-			}
-			score := "-"
-			if p.HasScore {
-				score = strconv.FormatFloat(p.Score, 'g', 6, 64)
-			}
-			fmt.Fprintf(stdout, "%s\t%d\t%s\t%s\n", stamp(p.At), p.Bucket, present, score)
-		}
-		return nil
+		return modelstore.WriteTrajectory(stdout, points)
 	}
 	return fmt.Errorf("unknown store subcommand %q", cmd)
 }

@@ -14,8 +14,8 @@
 //  1. Every flag the docs mention must be registered by some command
 //     (or be on the small allowlist of go-toolchain flags the docs
 //     legitimately quote inline, e.g. `go vet -vettool`).
-//  2. Every flag registered by the operator-facing commands — depmine
-//     and evalrun — must be mentioned somewhere in the docs.
+//  2. Every flag registered by the operator-facing commands — depmine,
+//     depmined and evalrun — must be mentioned somewhere in the docs.
 //
 // Usage:
 //
@@ -42,7 +42,7 @@ import (
 // docs. The other commands (loggen, logclass, benchjson, lintscape,
 // docaudit itself) are developer tooling: their flags may be documented
 // but do not have to be.
-var documentedCommands = map[string]bool{"depmine": true, "evalrun": true}
+var documentedCommands = map[string]bool{"depmine": true, "depmined": true, "evalrun": true}
 
 // toolchainFlags are non-logscape flags the docs legitimately quote in
 // inline code spans — go test / go vet options, mostly. Anything else

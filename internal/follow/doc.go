@@ -1,0 +1,20 @@
+// Package follow is the reusable streaming-follow engine: it composes the
+// hardened ingest stack (internal/stream), the incremental miners, the
+// drift detector and the model store into one run loop that tails a log
+// stream and emits the sliding-window model document per closed bucket.
+//
+// cmd/depmine's -follow mode is a thin adapter over Run; cmd/depmined
+// hosts many concurrent engines — one per tenant stream — which is why
+// the engine is a package and not CLI code: every hook a daemon needs
+// (cooperative stop, tail-wait, per-bucket progress, an advance lock for
+// read-your-writes queries) is a Config field, and everything the CLI
+// prints after a run (the summary line, the metrics document) derives
+// from the returned Result instead of being written by the engine.
+//
+// The determinism contract holds per engine: the model documents written
+// to stdout, the checkpoint files and the store directory are a pure
+// function of the stream's accepted entries and geometry — independent of
+// the Workers knob, of metrics collection, and of whatever other engines
+// share the process (they share only the internal/parallel helper pool,
+// which never influences results). See DESIGN.md §15.
+package follow

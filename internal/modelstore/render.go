@@ -1,0 +1,90 @@
+package modelstore
+
+// Shared rendering for time-travel queries. cmd/depmine's query/diff/
+// trajectory subcommands and cmd/depmined's per-tenant query endpoints
+// print through these helpers, so the two surfaces emit byte-identical
+// documents for the same store state — the CLI and the daemon are two
+// doors into one contract, not two implementations.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"logscape/internal/logmodel"
+)
+
+// Stamp renders a Millis in the canonical second-resolution UTC form used
+// by the follower's stderr lines and every query surface.
+func Stamp(m logmodel.Millis) string {
+	return m.Time().Format("2006-01-02T15:04:05")
+}
+
+// ParseWhen parses a user-supplied instant: Unix milliseconds, RFC 3339,
+// or the zone-less "2006-01-02T15:04:05" form (interpreted as UTC, the
+// same rendering Stamp produces).
+func ParseWhen(s string) (logmodel.Millis, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return logmodel.Millis(n), nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return logmodel.FromTime(t), nil
+	}
+	if t, err := time.Parse("2006-01-02T15:04:05", s); err == nil {
+		return logmodel.FromTime(t), nil
+	}
+	return 0, fmt.Errorf("cannot parse time %q (want Unix millis, RFC 3339, or 2006-01-02T15:04:05 UTC)", s)
+}
+
+// WriteDiff renders a Diff as the canonical +/- edge listing: a header
+// naming both retained instants, one line per changed edge, and a
+// trailing "no changes" when the models are identical.
+func WriteDiff(w io.Writer, d *Diff) error {
+	if _, err := fmt.Fprintf(w, "diff %s (bucket %d) .. %s (bucket %d):\n",
+		Stamp(d.From.Range.End), d.From.Bucket, Stamp(d.To.Range.End), d.To.Bucket); err != nil {
+		return err
+	}
+	n := 0
+	for _, p := range d.PairsNew {
+		fmt.Fprintf(w, "+ %s--%s\n", p.A, p.B)
+		n++
+	}
+	for _, p := range d.PairsGone {
+		fmt.Fprintf(w, "- %s--%s\n", p.A, p.B)
+		n++
+	}
+	for _, p := range d.DepsNew {
+		fmt.Fprintf(w, "+ %s->%s\n", p.App, p.Group)
+		n++
+	}
+	for _, p := range d.DepsGone {
+		fmt.Fprintf(w, "- %s->%s\n", p.App, p.Group)
+		n++
+	}
+	if n == 0 {
+		_, err := fmt.Fprintln(w, "no changes")
+		return err
+	}
+	return nil
+}
+
+// WriteTrajectory renders one key's history as tab-separated lines:
+// close-time, bucket index, present/absent, and the drift score ("-"
+// when the record carries none).
+func WriteTrajectory(w io.Writer, points []TrajPoint) error {
+	for _, p := range points {
+		present := "absent"
+		if p.Present {
+			present = "present"
+		}
+		score := "-"
+		if p.HasScore {
+			score = strconv.FormatFloat(p.Score, 'g', 6, 64)
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%s\t%s\n", Stamp(p.At), p.Bucket, present, score); err != nil {
+			return err
+		}
+	}
+	return nil
+}

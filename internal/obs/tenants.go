@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Tenants is a named collection of registries — one per tenant stream of a
+// multi-stream process (cmd/depmined). Each tenant's instruments live in
+// its own registry, so one stream's counters never mix with a neighbor's:
+// per-tenant metric isolation is the observability half of the tenant
+// determinism contract. Lookups are create-on-first-use, like the registry
+// instruments themselves. A nil *Tenants hands out nil registries, which
+// are the sanctioned "metrics off" collectors.
+type Tenants struct {
+	clock func() int64
+
+	mu sync.Mutex
+	m  map[string]*Registry
+}
+
+// NewTenants returns an empty tenant collection whose registries read
+// timings from clock (nil disables timings, the deterministic-test
+// configuration).
+func NewTenants(clock func() int64) *Tenants {
+	return &Tenants{clock: clock, m: make(map[string]*Registry)}
+}
+
+// Get returns the named tenant's registry, creating it on first use. A nil
+// collection yields a nil (no-op) registry.
+func (t *Tenants) Get(name string) *Registry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.m[name]
+	if r == nil {
+		r = NewWithClock(t.clock)
+		t.m[name] = r
+	}
+	return r
+}
+
+// Drop discards the named tenant's registry; the next Get starts fresh.
+// No-op on nil or when the tenant was never seen.
+func (t *Tenants) Drop(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.m, name)
+	t.mu.Unlock()
+}
+
+// Names returns the known tenant names in sorted order (nil collection:
+// none) — the stable iteration order every aggregate snapshot uses.
+func (t *Tenants) Names() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]string, 0, len(t.m))
+	for name := range t.m {
+		out = append(out, name)
+	}
+	t.mu.Unlock()
+	sort.Strings(out)
+	return out
+}

@@ -52,14 +52,17 @@ func (p *firstPanic) repanic() {
 	}
 }
 
-// Map computes out[i] = fn(i) for every i in [0, n) using at most workers
-// goroutines and returns the results in index order. Work items are handed
-// out dynamically (an atomic cursor), so uneven per-item cost balances
-// across workers; determinism is unaffected because each result is stored
-// at its input index. workers ≤ 1 (or n ≤ 1) runs inline on the calling
-// goroutine. n ≤ 0 yields nil. If fn panics, every remaining item still
-// runs and the panic with the lowest item index is re-raised on the
-// calling goroutine — exactly what the sequential path would raise.
+// Map computes out[i] = fn(i) for every i in [0, n) using the calling
+// goroutine plus at most workers−1 helpers recruited from the shared
+// process pool (see pool.go), and returns the results in index order.
+// Work items are handed out dynamically (an atomic cursor), so uneven
+// per-item cost balances across workers; determinism is unaffected
+// because each result is stored at its input index — how many helpers
+// actually joined changes timing only, never output. workers ≤ 1 (or
+// n ≤ 1) runs inline on the calling goroutine. n ≤ 0 yields nil. If fn
+// panics, every remaining item still runs and the panic with the lowest
+// item index is re-raised on the calling goroutine — exactly what the
+// sequential path would raise.
 func Map[T any](workers, n int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
@@ -74,28 +77,25 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	}
 	var fp firstPanic
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							fp.record(i, r)
-						}
-					}()
-					out[i] = fn(i)
-				}()
+	loop := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
 			}
-		}()
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						fp.record(i, r)
+					}
+				}()
+				out[i] = fn(i)
+			}()
+		}
 	}
-	wg.Wait()
+	helpers := sharedPool().recruit(workers-1, loop)
+	loop()
+	helpers.Wait()
 	fp.repanic()
 	return out
 }
@@ -139,14 +139,17 @@ func Shards(workers, n int) []Shard {
 }
 
 // MapShards partitions [0, n) into at most workers contiguous shards,
-// computes one partial result per shard concurrently, and returns the
-// partials in shard order (ascending Lo). The caller folds the partials
-// left to right, which makes the merged output a function of the input
-// alone — the ordered-merge half of the determinism contract. A single
-// shard (workers ≤ 1 or n small) runs fn(0, n) inline, which is exactly
-// the sequential path. n ≤ 0 yields nil. If fn panics, the remaining
-// shards still run and the panic with the lowest shard index is re-raised
-// on the calling goroutine.
+// computes one partial result per shard concurrently (the calling
+// goroutine plus idle helpers recruited from the shared pool), and
+// returns the partials in shard order (ascending Lo). The caller folds
+// the partials left to right, which makes the merged output a function of
+// the input alone — the ordered-merge half of the determinism contract.
+// Shard geometry derives from the workers knob alone, never from how many
+// helpers actually joined, so the partials are identical at any pool
+// occupancy. A single shard (workers ≤ 1 or n small) runs fn(0, n)
+// inline, which is exactly the sequential path. n ≤ 0 yields nil. If fn
+// panics, the remaining shards still run and the panic with the lowest
+// shard index is re-raised on the calling goroutine.
 func MapShards[T any](workers, n int, fn func(lo, hi int) T) []T {
 	shards := Shards(workers, n)
 	if len(shards) == 0 {
@@ -157,20 +160,26 @@ func MapShards[T any](workers, n int, fn func(lo, hi int) T) []T {
 	}
 	var fp firstPanic
 	out := make([]T, len(shards))
-	var wg sync.WaitGroup
-	for i, sh := range shards {
-		wg.Add(1)
-		go func(i int, sh Shard) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					fp.record(i, r)
-				}
+	var next atomic.Int64
+	loop := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(shards) {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						fp.record(i, r)
+					}
+				}()
+				out[i] = fn(shards[i].Lo, shards[i].Hi)
 			}()
-			out[i] = fn(sh.Lo, sh.Hi)
-		}(i, sh)
+		}
 	}
-	wg.Wait()
+	helpers := sharedPool().recruit(len(shards)-1, loop)
+	loop()
+	helpers.Wait()
 	fp.repanic()
 	return out
 }

@@ -1,0 +1,143 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// The shared helper pool.
+//
+// Map and MapShards used to spawn fresh goroutines per call, which is fine
+// for one miner per process but multiplies into pool-per-stream behaviour
+// the moment many follow streams mine concurrently (a daemon hosting N
+// tenants would run up to N×Workers goroutines at once). Instead the
+// package now owns one process-wide pool of helper goroutines, sized to
+// the hardware (or to SetPoolSize), and every Map/MapShards call recruits
+// *idle* helpers from it:
+//
+//   - the calling goroutine always works through the item cursor itself,
+//     so a call makes progress even when every helper is busy serving
+//     other streams — recruitment is strictly an accelerator;
+//   - recruitment is a non-blocking handoff on an unbuffered channel: it
+//     succeeds only when a helper is parked in receive at that instant,
+//     so a task is never queued behind a busy helper and the pool can
+//     never deadlock, even for nested Map calls running on pool helpers;
+//   - the per-call Workers knob still caps how many helpers one call may
+//     recruit (workers−1, plus the caller), so a tenant configured with
+//     Workers=1 stays sequential no matter how idle the pool is.
+//
+// Determinism is untouched by any of this: results are written through
+// their input index and shard geometry derives from the Workers knob
+// alone, so how many helpers actually joined — zero or all — can change
+// only the wall-clock time, never a byte of output.
+
+// helperTask is one recruited unit of work: run the loop, then signal the
+// recruiting call's WaitGroup.
+type helperTask struct {
+	run  func()
+	done *sync.WaitGroup
+}
+
+// pool is the process-wide helper pool. offers is unbuffered on purpose:
+// see the package comment above — a successful send proves a helper was
+// idle, which is what makes recruitment deadlock-free.
+type pool struct {
+	offers chan helperTask
+	size   int
+}
+
+var (
+	poolMu     sync.Mutex
+	poolShared *pool
+	poolSize   int // 0: default to Workers(0) at first use
+
+	// poolHandoffs counts tasks picked up by pool helpers; poolMisses
+	// counts recruitment offers no idle helper accepted. Observability
+	// only (the split is timing-dependent); neither influences results.
+	poolHandoffs atomic.Int64
+	poolMisses   atomic.Int64
+)
+
+// SetPoolSize fixes the shared pool's helper count before first use.
+// n ≤ 0 selects the hardware default (GOMAXPROCS). Once the pool has
+// started — lazily, on the first parallel call with workers > 1 — the
+// size is immutable and SetPoolSize returns an error: resizing a live
+// pool would orphan parked helpers mid-recruitment for no operational
+// gain (callers size it once at process start, e.g. depmined -pool).
+func SetPoolSize(n int) error {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if poolShared != nil {
+		return fmt.Errorf("parallel: the shared pool already runs %d helpers; set the size before the first parallel call", poolShared.size)
+	}
+	poolSize = n
+	return nil
+}
+
+// PoolStats describes the shared pool: its helper count (0 until the pool
+// has lazily started) and the cumulative recruitment outcomes.
+type PoolStats struct {
+	Helpers  int   `json:"helpers"`
+	Handoffs int64 `json:"handoffs"`
+	Misses   int64 `json:"misses"`
+}
+
+// Stats returns the shared pool's current statistics.
+func Stats() PoolStats {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	s := PoolStats{Handoffs: poolHandoffs.Load(), Misses: poolMisses.Load()}
+	if poolShared != nil {
+		s.Helpers = poolShared.size
+	}
+	return s
+}
+
+// sharedPool returns the process pool, starting its helpers on first use.
+func sharedPool() *pool {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if poolShared == nil {
+		size := Workers(poolSize)
+		poolShared = &pool{offers: make(chan helperTask), size: size}
+		for i := 0; i < size; i++ {
+			go poolShared.helper()
+		}
+	}
+	return poolShared
+}
+
+// helper is one pool goroutine: park in receive, run what arrives, repeat.
+// Helpers live for the process lifetime — the pool is process-global
+// infrastructure, like the runtime's own scheduler threads.
+func (p *pool) helper() {
+	for t := range p.offers {
+		t.run()
+		t.done.Done()
+	}
+}
+
+// recruit offers run to at most k idle helpers and returns the WaitGroup
+// that joins whichever helpers accepted. It never blocks: an offer that
+// finds no parked helper is dropped (the caller's own loop still drains
+// every item). The first failed offer ends recruitment — with an
+// unbuffered channel a failure means no helper is parked right now, so
+// further offers would almost surely fail too, and run's cursor sharing
+// makes extra helpers a bonus, not a need.
+func (p *pool) recruit(k int, run func()) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	t := helperTask{run: run, done: &wg}
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		select {
+		case p.offers <- t:
+			poolHandoffs.Add(1)
+		default:
+			wg.Done()
+			poolMisses.Add(int64(k - i))
+			return &wg
+		}
+	}
+	return &wg
+}

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolMapEquivalence pins the shared-pool contract: results are
+// identical whether helpers joined or not, at every worker count.
+func TestPoolMapEquivalence(t *testing.T) {
+	const n = 1000
+	want := Map(1, n, func(i int) int { return i * i })
+	for _, w := range []int{2, 4, 8, 64} {
+		got := Map(w, n, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPoolNestedMap runs Map calls inside Map items: nesting must neither
+// deadlock (recruitment only ever hands work to provably idle helpers)
+// nor perturb results.
+func TestPoolNestedMap(t *testing.T) {
+	outer := Map(8, 16, func(i int) int {
+		inner := Map(8, 32, func(j int) int { return i*100 + j })
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum
+	})
+	for i, got := range outer {
+		want := 0
+		for j := 0; j < 32; j++ {
+			want += i*100 + j
+		}
+		if got != want {
+			t.Fatalf("nested out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestPoolSaturation floods the pool with many concurrent MapShards calls
+// (mimicking a daemon full of tenant streams) and checks every call's
+// ordered merge stays correct even when most calls find no idle helper.
+func TestPoolSaturation(t *testing.T) {
+	const streams = 32
+	results := Map(streams, streams, func(s int) int {
+		partials := MapShards(8, 4096, func(lo, hi int) int {
+			sum := 0
+			for i := lo; i < hi; i++ {
+				sum += s + i
+			}
+			return sum
+		})
+		total := 0
+		for _, p := range partials {
+			total += p
+		}
+		return total
+	})
+	for s, got := range results {
+		want := 0
+		for i := 0; i < 4096; i++ {
+			want += s + i
+		}
+		if got != want {
+			t.Fatalf("stream %d total = %d, want %d", s, got, want)
+		}
+	}
+}
+
+// TestPoolPanicIdentity: the lowest-index panic is re-raised on the caller
+// even when the panicking item ran on a pool helper.
+func TestPoolPanicIdentity(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a panic")
+		}
+		if s, ok := r.(string); !ok || s != "item 3" {
+			t.Fatalf("recovered %v, want the lowest-index panic \"item 3\"", r)
+		}
+	}()
+	var ran atomic.Int64
+	Map(8, 64, func(i int) int {
+		ran.Add(1)
+		if i >= 3 && i <= 10 {
+			panic("item " + string(rune('0'+i%10)))
+		}
+		return i
+	})
+}
+
+// TestSetPoolSizeAfterStart: once the pool runs, resizing is refused with
+// an error that names the live helper count.
+func TestSetPoolSizeAfterStart(t *testing.T) {
+	Map(2, 8, func(i int) int { return i }) // force the pool to start
+	err := SetPoolSize(4)
+	if err == nil || !strings.Contains(err.Error(), "already runs") {
+		t.Fatalf("SetPoolSize after start = %v, want refusal", err)
+	}
+	s := Stats()
+	if s.Helpers < 1 {
+		t.Fatalf("Stats().Helpers = %d, want ≥ 1 after first parallel call", s.Helpers)
+	}
+}
